@@ -1,0 +1,193 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- §3.3: mixed-precision vs reordered pure-FP16 OTF attention.
+- §5.2.1: GEMM-algorithm autotuning (DEFAULT vs CUBLAS_GEMM_ALGO5_TENSOR_OP).
+- §3.2: inner-product (full OTF) vs outer-product (partial) traffic split.
+- §7 discussion: the same experiment stack on an A100 device model.
+"""
+
+import numpy as np
+
+from repro.attention import otf_attention, partial_otf_attention
+from repro.config import BERT_BASE
+from repro.eval.format import render_table
+from repro.eval.latency import scaling_reorder_ablation
+from repro.gpu import A100, Timeline
+from repro.ops import GemmAlgo, gemm
+from repro.ops.context import fp16_ctx
+from repro.pruning import PruneMethod
+from repro.runtime import EncoderWeights, ETEngine, TensorRTLikeEngine
+
+from _util import emit, once
+
+
+def test_ablation_scaling_reorder(benchmark):
+    res = once(benchmark, scaling_reorder_ablation)
+    emit("ablation_scaling_reorder",
+         render_table(["variant", "us"],
+                      [["pure FP16 (reordered scaling)", res.pure_fp16_us],
+                       ["mixed precision (no reorder)",
+                        res.mixed_precision_us],
+                       ["speedup", res.speedup]],
+                      title="§3.3 ablation: scaling reorder"))
+    assert res.speedup > 1.1
+
+
+def test_ablation_gemm_autotuning(benchmark):
+    def run():
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((128, 768))
+        w = rng.standard_normal((768, 768))
+        out = {}
+        for algo in GemmAlgo:
+            tl = Timeline()
+            gemm(fp16_ctx(tl), x, w.T, algo)
+            out[algo.name] = tl.total_time_us
+        return out
+
+    times = once(benchmark, run)
+    emit("ablation_gemm_autotune",
+         render_table(["algorithm", "us"],
+                      [[k, v] for k, v in times.items()],
+                      title="§5.2.1 ablation: cuBLAS algorithm table "
+                            "(128x768x768)"))
+    assert times["ALGO5_TENSOR_OP"] == min(times.values())
+
+
+def test_ablation_inner_vs_outer_product_traffic(benchmark):
+    """§3.2: the traffic trade — full OTF re-loads K/V per tile; partial
+    loads them once but round-trips S."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        h, dk = BERT_BASE.num_heads, BERT_BASE.d_head
+        rows = []
+        for s in (64, 128, 256, 384):
+            q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+            tl_f = Timeline()
+            otf_attention(fp16_ctx(tl_f), q, k, v)
+            tl_p = Timeline()
+            partial_otf_attention(fp16_ctx(tl_p), q, k, v)
+            rows.append([s, tl_f.bytes_loaded / 1e6, tl_f.bytes_stored / 1e6,
+                         tl_p.bytes_loaded / 1e6, tl_p.bytes_stored / 1e6])
+        return rows
+
+    rows = once(benchmark, run)
+    emit("ablation_inner_vs_outer",
+         render_table(["seqLen", "full load MB", "full store MB",
+                       "partial load MB", "partial store MB"], rows,
+                      title="§3.2 ablation: traffic of full vs partial OTF"))
+    # full OTF always loads more and stores less than partial
+    for r in rows:
+        assert r[1] > r[3] and r[2] < r[4]
+
+
+def test_ablation_a100_device(benchmark):
+    """§7: the pruning + OTF wins carry to the A100 device model."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((128, BERT_BASE.d_model))
+        dense = EncoderWeights.random(BERT_BASE, rng, 1)
+        pruned = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+        pruned.prune(PruneMethod.ATTENTION_AWARE, 0.9)
+        out = {}
+        for dev in (None, A100):
+            name = "V100S" if dev is None else "A100"
+            out[name] = {
+                "tensorrt": TensorRTLikeEngine(dense, dev).run(x).latency_us,
+                "et@90%": ETEngine(pruned, dev).run(x).latency_us,
+            }
+        return out
+
+    res = once(benchmark, run)
+    rows = [[d, v["tensorrt"], v["et@90%"], v["tensorrt"] / v["et@90%"]]
+            for d, v in res.items()]
+    emit("ablation_a100",
+         render_table(["device", "TensorRT us", "E.T.@90% us", "speedup"],
+                      rows, title="§7 ablation: device portability"))
+    for v in res.values():
+        assert v["et@90%"] < v["tensorrt"]
+    # A100 is faster in absolute terms
+    assert res["A100"]["et@90%"] < res["V100S"]["et@90%"]
+
+
+def test_ablation_tile_size(benchmark):
+    """Tile-size design choice (§4.2 picks 16×16, the tensor-core FMA tile):
+    smaller tiles prune more selectively but fragment the GEMM; larger tiles
+    waste pruning budget. Latency at fixed 80 % sparsity."""
+    from repro.ops import tile_gemm
+    from repro.pruning.masks import tile_mask
+    from repro.tensor.sparse import TileBCSR
+    from repro.ops.context import fp16_ctx
+
+    def run():
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((128, 768))
+        w = rng.standard_normal((768, 768))
+        out = {}
+        for t in (8, 16, 32, 64):
+            wm = w * tile_mask(w, 0.8, (t, t))
+            tl = Timeline()
+            tile_gemm(fp16_ctx(tl), x, TileBCSR.from_dense(wm, (t, t)))
+            out[t] = tl.total_time_us
+        return out
+
+    times = once(benchmark, run)
+    emit("ablation_tile_size",
+         render_table(["tile", "us @80% sparsity"],
+                      [[f"{t}x{t}", v] for t, v in times.items()],
+                      title="§4.2 ablation: tile size (d=768)"))
+    # all tile sizes execute correctly and in the same latency ballpark;
+    # the 16x16 tensor-core tile is never worse than 8x8 (less metadata).
+    assert times[16] <= times[8] * 1.1
+
+
+def test_ablation_reweighted_lambda(benchmark):
+    """λ sensitivity of the reweighted group lasso (§5.1 uses 1e-4 / 3e-4):
+    stronger regularization concentrates tile energy, which is what makes
+    percentile pruning safe. Measured as the Gini-style spread of tile
+    norms after two regularized epochs."""
+    from repro.config import small_config
+    from repro.data import SyntheticWikiText, batchify
+    from repro.nn import TrainConfig, Trainer, TransformerLM
+    from repro.pruning import ReweightedGroupLasso
+
+    def bottom_top_ratio(norms):
+        """Energy of the weakest half of tiles relative to the strongest —
+        the quantity percentile pruning destroys; the regularizer should
+        drive it toward zero."""
+        flat = np.sort(norms.reshape(-1))
+        half = flat.size // 2
+        top = float((flat[half:] ** 2).sum())
+        return float((flat[:half] ** 2).sum()) / max(top, 1e-12)
+
+    def run():
+        cfg = small_config(name="lam", num_layers=2, d_model=32, num_heads=4,
+                           vocab_size=96, max_seq_len=32)
+        corpus = SyntheticWikiText(vocab_size=96, seed=0)
+        batches = batchify(corpus.generate(4000), 8, 16)
+        out = {}
+        for lam in (0.0, 1e-4, 1e-3):
+            model = TransformerLM(cfg, np.random.default_rng(0))
+            reg = ReweightedGroupLasso(lam=lam, tile=(8, 8))
+            Trainer(model, TrainConfig(epochs=3, lr=2e-3),
+                    regularizer=reg.penalty,
+                    epoch_callback=reg.update_betas).fit_lm(batches)
+            snap = reg.tile_norm_snapshot(model)
+            out[lam] = float(np.mean([bottom_top_ratio(v)
+                                      for v in snap.values()]))
+        return out
+
+    ratios = once(benchmark, run)
+    emit("ablation_lambda",
+         render_table(["lambda", "bottom/top tile energy"],
+                      [[f"{k:g}", v] for k, v in ratios.items()],
+                      title="§4.2 ablation: reweighted-lasso strength "
+                            "(1e-3 over-regularizes — the regime the "
+                            "paper's 'stop increasing λ' rule avoids)"))
+    # the paper's λ=1e-4 concentrates energy away from the weak tiles;
+    # pushing λ an order of magnitude higher squashes strong tiles too,
+    # which is exactly why Section 4.2 stops increasing λ when the
+    # reweighted training accuracy drops.
+    assert ratios[1e-4] < ratios[0.0]

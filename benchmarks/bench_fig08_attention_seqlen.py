@@ -1,0 +1,32 @@
+"""Fig. 8 — attention implementations across sequence length.
+
+Paper claims: full or partial OTF beats the TensorRT attention plugin in all
+cases (avg 2.5× on Transformer, 3.3× on BERT_BASE for 64–256); full OTF wins
+short sequences (~1.4–1.5×) and partial OTF takes over beyond seqLen ≈ 224.
+"""
+
+import pytest
+
+from repro.eval.format import render_table
+from repro.eval.latency import fig08_attention
+
+from _util import emit, once
+
+
+@pytest.mark.parametrize("model", ["BERT_BASE", "Transformer"])
+def test_fig08_attention(benchmark, model):
+    res = once(benchmark, fig08_attention, model)
+
+    rows = [
+        [s, t, o, p, t / min(o, p)]
+        for s, t, o, p in zip(res.seq_lens, res.tensorrt_us, res.otf_us,
+                              res.partial_otf_us)
+    ]
+    rows.append([f"crossover (paper ~224): {res.crossover}", "", "", "", ""])
+    emit(f"fig08_attention_{model}",
+         render_table(["seqLen", "TensorRT us", "OTF us", "partial OTF us",
+                       "speedup"],
+                      rows, title=f"Fig.8 attention latency — {model}"))
+
+    assert all(s > 1.0 for s in res.speedup_over_trt())
+    assert 192 <= res.crossover <= 272

@@ -1,0 +1,35 @@
+"""Fig. 10 — pruned linear-transformation speedup per method and sparsity.
+
+Paper claims (vs the best dense cuBLAS routine): tile pruning reaches 3.5× /
+3.2× at 95 % sparsity for d_model 768 / 1024; row and column pruning top out
+around 1.2–1.7×; at equal sparsity tile pruning beats column pruning.
+"""
+
+import pytest
+
+from repro.eval.format import render_table
+from repro.eval.latency import fig10_pruned_gemm
+
+from _util import emit, once
+
+
+@pytest.mark.parametrize("d_model", [768, 1024])
+def test_fig10_pruned_gemm(benchmark, d_model):
+    res = once(benchmark, fig10_pruned_gemm, d_model)
+
+    rows = []
+    for i, sp in enumerate(res.sparsities):
+        rows.append([sp,
+                     res.speedup("row")[i],
+                     res.speedup("column")[i],
+                     res.speedup("tile")[i]])
+    rows.append([f"dense baseline: {res.dense_us:.1f} us "
+                 "(CUBLAS_GEMM_ALGO5_TENSOR_OP)", "", "", ""])
+    emit(f"fig10_pruned_gemm_d{d_model}",
+         render_table(["sparsity", "row x", "column x", "tile x"], rows,
+                      title=f"Fig.10 pruned linear speedup, d_model={d_model}"))
+
+    tile = res.speedup("tile")
+    col = res.speedup("column")
+    assert 2.0 <= tile[-1] <= 4.5  # paper 3.5 (768) / 3.2 (1024)
+    assert all(t > c for t, c in zip(tile, col))

@@ -1,0 +1,56 @@
+"""One GLUE task through all four pruning methods (a Table 1 column).
+
+Fine-tunes a DistilBERT-sim baseline on a synthetic GLUE task, then runs the
+irregular / column / tile / attention-aware pipelines at the Table 1 ratio
+for that task, reporting the dev score (reduced scale) and the paper-scale
+V100S latency.
+
+Run:  python examples/glue_pipeline.py [--task SST-2]
+"""
+
+import argparse
+
+from repro.data import GLUE_TASKS, make_task
+from repro.eval.accuracy_exp import (
+    SMALL,
+    TABLE1_RATIOS,
+    TASK_ORDER,
+    _full_model_latency_ms,
+    _score,
+    finetune_dense,
+    prune_finetuned,
+)
+from repro.pruning import PruneMethod
+
+
+def main(task_name: str, model_name: str = "DistilBERT") -> None:
+    task = GLUE_TASKS[task_name]
+    print(f"== {task_name} ({task.metric}) on {model_name}-sim ==")
+    td = make_task(task_name, vocab_size=SMALL.vocab_size,
+                   seq_len=SMALL.seq_len, n_train=SMALL.n_train,
+                   n_dev=SMALL.n_dev, seed=0)
+
+    baseline = finetune_dense(td, model_name, SMALL)
+    base_score = _score(baseline, td)
+    base_ms = _full_model_latency_ms(model_name, PruneMethod.NONE, 0.0)
+    print(f"   dense baseline: score {base_score:.3f}, "
+          f"latency {base_ms:.2f} ms (full {model_name}, V100S model)")
+
+    idx = TASK_ORDER.index(task_name)
+    for method in (PruneMethod.IRREGULAR, PruneMethod.COLUMN,
+                   PruneMethod.TILE, PruneMethod.ATTENTION_AWARE):
+        ratio = TABLE1_RATIOS[model_name][method][idx]
+        score, sp = prune_finetuned(baseline, td, method, ratio, SMALL)
+        ms = _full_model_latency_ms(model_name, method, ratio)
+        print(f"   {method.value:16s} ratio {ratio:.0%}  "
+              f"score {score:.3f} ({score / max(base_score, 1e-9):.0%} of "
+              f"baseline)  latency {ms:7.2f} ms")
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--task", default="SST-2", choices=sorted(GLUE_TASKS))
+    ap.add_argument("--model", default="DistilBERT",
+                    choices=["BERT_BASE", "DistilBERT"])
+    args = ap.parse_args()
+    main(args.task, args.model)

@@ -1,0 +1,52 @@
+"""Sequence-length-aware attention dispatch (the Fig. 8 study, hands-on).
+
+Sweeps sequence length for the BERT_BASE head geometry, printing the cost of
+the TensorRT-style fused attention vs E.T.'s full and partial on-the-fly
+operators, the adaptive engine's choice, and the Equation 6 shared-memory
+budget at each length.
+
+Run:  python examples/sequence_length_study.py
+"""
+
+import numpy as np
+
+from repro.attention import (
+    fused_attention,
+    otf_attention,
+    otf_crossover_seqlen,
+    otf_smem_bytes,
+    partial_otf_attention,
+    select_attention,
+)
+from repro.config import BERT_BASE
+from repro.gpu import Timeline, V100S
+from repro.ops.context import fp16_ctx
+
+
+def main() -> None:
+    h, dk = BERT_BASE.num_heads, BERT_BASE.d_head
+    rng = np.random.default_rng(0)
+    print(f"{'seqLen':>6} {'TRT us':>8} {'OTF us':>8} {'partial':>8} "
+          f"{'chosen':>12} {'smem/CTA':>9}")
+    for s in (32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 448):
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        mask = np.zeros((s, s))
+        times = []
+        for fn in (fused_attention, otf_attention, partial_otf_attention):
+            tl = Timeline()
+            fn(fp16_ctx(tl), q, k, v, mask)
+            times.append(tl.total_time_us)
+        tl = Timeline()
+        _, chosen = select_attention(fp16_ctx(tl), q, k, v, mask)
+        smem = otf_smem_bytes(s, dk)
+        print(f"{s:6d} {times[0]:8.1f} {times[1]:8.1f} {times[2]:8.1f} "
+              f"{chosen:>12} {smem / 1024:7.1f}KB")
+
+    tl = Timeline()
+    co = otf_crossover_seqlen(fp16_ctx(tl), h, dk, with_mask=True)
+    print(f"\ncost-model crossover: {co} (paper's empirical rule: 224)")
+    print(f"V100S shared memory per SM: {V100S.smem_per_sm_bytes // 1024} KB")
+
+
+if __name__ == "__main__":
+    main()

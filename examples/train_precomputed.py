@@ -1,0 +1,50 @@
+"""E.T. for training (Section 7): learn the folded W_V·W_O directly.
+
+The paper's future-work discussion: the pre-computed architecture has no
+separate W_V and W_O — backprop through ``Σ_h S_h·(X·M_h)`` updates the
+per-head folded matrix M_h directly ("the backward propagation phase will
+use autograd to automatically update this new matrix as opposed to prior
+ones"). This example trains a standard LM and a folded LM side by side on
+the synthetic WikiText-2 corpus and shows they reach comparable accuracy.
+
+Run:  python examples/train_precomputed.py
+"""
+
+import numpy as np
+
+from repro.config import small_config
+from repro.data import SyntheticWikiText, batchify
+from repro.nn import TrainConfig, Trainer, TransformerLM
+
+
+def main() -> None:
+    cfg = small_config(name="s7", num_layers=2, d_model=48, num_heads=4,
+                       vocab_size=192, max_seq_len=64)
+    corpus = SyntheticWikiText(vocab_size=cfg.vocab_size, seed=1)
+    train_s, val_s = corpus.splits(10_000, 2_500)
+    train_b = batchify(train_s, 16, 20)
+    val_b = batchify(val_s, 16, 20)
+
+    def val_acc(m):
+        return float(np.mean([m.accuracy(b) for b in val_b]))
+
+    results = {}
+    for label, precomputed in (("standard (W_V, W_O)", False),
+                               ("pre-computed (folded M)", True)):
+        model = TransformerLM(cfg, np.random.default_rng(0),
+                              precomputed=precomputed)
+        res = Trainer(model, TrainConfig(epochs=8, lr=2e-3)).fit_lm(train_b)
+        acc = val_acc(model)
+        n_params = model.num_parameters()
+        results[label] = acc
+        print(f"{label:26s} loss {res.losses[0]:.3f} -> {res.final_loss:.3f}  "
+              f"val acc {acc:.3f}  ({n_params:,} params)")
+
+    gap = abs(results["standard (W_V, W_O)"]
+              - results["pre-computed (folded M)"])
+    print(f"\naccuracy gap: {gap:.3f} — the folded architecture trains "
+          f"end-to-end as Section 7 predicts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The canonical metadata lives in pyproject.toml. This file exists so that
+environments without the `wheel` package (which modern `pip install -e .`
+needs for PEP 660 editable wheels) can still do an editable install via
+`python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

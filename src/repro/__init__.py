@@ -1,0 +1,37 @@
+"""E.T. — Re-Thinking Self-Attention for Transformer Models on GPUs (SC '21).
+
+A full reproduction of the E.T. inference system on a simulated V100S GPU:
+
+- :mod:`repro.tensor` — FP16/BF16 emulation, tile partitioning, sparse formats.
+- :mod:`repro.gpu` — analytical GPU device/cost model with profiling counters.
+- :mod:`repro.ops` — operator library (GEMM, softmax, layernorm, sparse GEMMs).
+- :mod:`repro.attention` — the paper's self-attention architectures (on-the-fly,
+  partial on-the-fly, pre-computed linear transformation, scaling reorder).
+- :mod:`repro.nn` — NumPy autograd, transformer modules and models, training.
+- :mod:`repro.pruning` — row/column/irregular/tensor-tile/attention-aware pruning.
+- :mod:`repro.runtime` — inference engines: PyTorch-like, TensorRT-like,
+  FasterTransformer-like and E.T. itself.
+- :mod:`repro.data` — synthetic WikiText-2-like and GLUE-like workloads.
+- :mod:`repro.eval` — metrics and experiment harnesses.
+"""
+
+from repro.config import (
+    ModelConfig,
+    TRANSFORMER_WT2,
+    BERT_BASE,
+    DISTILBERT,
+    BERT_LARGE,
+    small_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "TRANSFORMER_WT2",
+    "BERT_BASE",
+    "DISTILBERT",
+    "BERT_LARGE",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""The paper's self-attention architectures (Section 3).
+
+Implementations, all numerically equivalent (tests assert it):
+
+- :func:`reference_attention` — pure-NumPy reference semantics, no kernels.
+- :func:`unfused_attention` — PyTorch-eager-style: five separate kernels with
+  every intermediate in global memory.
+- :func:`fused_attention` — TensorRT-style vertical fusion: three kernels
+  (batched Q·Kᵀ, fused scale+mask+softmax, batched S·V); intermediates still
+  round-trip through global memory.
+- :func:`otf_attention` — E.T.'s on-the-fly operator: steps ②–⑥ in ONE
+  kernel; a CTA owns a 16-row tile of one head, keeps its Q·Kᵀ row and
+  softmax row in shared memory (Equation 6 budget) and re-loads K and V per
+  tile instead of materializing S.
+- :func:`partial_otf_attention` — the sequence-length-aware split (Section
+  3.2): an outer-product Q·Kᵀ kernel that stores S once, then a
+  mask+softmax+S·V kernel; wins beyond seqLen ≈ 224.
+- :func:`select_attention` — E.T.'s adaptive dispatch between the two.
+- :mod:`repro.attention.precompute` — the pre-computed W_V·W_O linear
+  transformation (Equation 5).
+- :mod:`repro.attention.scaling` — the scaling-reorder overflow study
+  (Fig. 4).
+"""
+
+from repro.attention.reference import reference_attention, split_heads, merge_heads
+from repro.attention.unfused import unfused_attention
+from repro.attention.fused import fused_attention
+from repro.attention.onthefly import otf_attention, otf_smem_bytes
+from repro.attention.partial import partial_otf_attention
+from repro.attention.adaptive import select_attention, otf_crossover_seqlen
+from repro.attention.precompute import (
+    fold_vo,
+    condense_folded,
+    precomputed_context,
+    precomputed_vside,
+    otf_attention_precomputed,
+    partial_otf_attention_precomputed,
+    select_attention_precomputed,
+)
+from repro.attention.scaling import overflow_heatmap, OverflowStudy
+
+__all__ = [
+    "condense_folded",
+    "precomputed_vside",
+    "otf_attention_precomputed",
+    "partial_otf_attention_precomputed",
+    "select_attention_precomputed",
+    "reference_attention",
+    "split_heads",
+    "merge_heads",
+    "unfused_attention",
+    "fused_attention",
+    "otf_attention",
+    "otf_smem_bytes",
+    "partial_otf_attention",
+    "select_attention",
+    "otf_crossover_seqlen",
+    "fold_vo",
+    "precomputed_context",
+    "overflow_heatmap",
+    "OverflowStudy",
+]

@@ -1,0 +1,236 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from the shell::
+
+    python -m repro list                 # available experiments
+    python -m repro fig7                 # encoder latency vs sparsity
+    python -m repro fig8 --model Transformer
+    python -m repro table1 --model DistilBERT --scale tiny
+    python -m repro all                  # every latency experiment
+
+Training experiments (fig14, table1) accept ``--scale tiny|bench|small`` to
+trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _fmt_table(headers, rows, title=""):
+    from repro.eval.format import render_table
+
+    return render_table(headers, rows, title)
+
+
+# --------------------------------------------------------------------------
+# experiment commands
+# --------------------------------------------------------------------------
+
+
+def cmd_fig1(args) -> str:
+    """Fig. 1 — single-encoder latency headline."""
+    from repro.eval.latency import fig01_breakdown
+
+    res = fig01_breakdown()
+    rows = [["TensorRT", res.trt_total_us], ["E.T. (80% pruned)", res.et_total_us],
+            ["speedup (paper ~2.5x)", res.speedup]]
+    return _fmt_table(["engine", "us"], rows, "Fig.1 — encoder time")
+
+
+def cmd_fig4(args) -> str:
+    """Fig. 4 — FP16 overflow study with the scaling reorder."""
+    from repro.attention import OverflowStudy
+
+    rng = np.random.default_rng(0)
+    q = 18.0 + 5.0 * rng.standard_normal((2, 16, 256))
+    k = 18.0 + 5.0 * rng.standard_normal((2, 16, 256))
+    st = OverflowStudy.run(q, k)
+    rows = [
+        ["post-scale pure FP16", st.post_scale_fp16],
+        ["pre-scale (reordered) FP16", st.pre_scale_fp16],
+        ["post-scale mixed precision", st.post_scale_mixed],
+        ["post-scale BF16 (A100 mode)", st.post_scale_bf16],
+        ["BF16 median relative error", st.bf16_rel_error],
+        ["reorder max |Δ| (exact)", st.max_abs_error],
+    ]
+    return _fmt_table(["design", "overflow fraction / error"], rows,
+                      "Fig.4 — Q·Kᵀ overflow study")
+
+
+def cmd_fig7(args) -> str:
+    """Fig. 7 — encoder latency vs sparsity across engines."""
+    from repro.eval.latency import fig07_encoder_latency
+
+    res = fig07_encoder_latency()
+    headers = ["sparsity"] + list(res.latency_us)
+    rows = [[s] + [res.latency_us[k][i] for k in res.latency_us]
+            for i, s in enumerate(res.sparsities)]
+    rows.append(["max speedup", res.max_speedup_over("pytorch"),
+                 res.max_speedup_over("tensorrt"),
+                 res.max_speedup_over("fastertransformer"), ""])
+    return _fmt_table(headers, rows, "Fig.7 — encoder latency (us) vs sparsity")
+
+
+def cmd_fig8(args) -> str:
+    """Fig. 8 — attention latency vs sequence length."""
+    from repro.eval.latency import fig08_attention
+
+    res = fig08_attention(model=args.model)
+    rows = [[s, t, o, p] for s, t, o, p in
+            zip(res.seq_lens, res.tensorrt_us, res.otf_us, res.partial_otf_us)]
+    rows.append([f"crossover={res.crossover}", "", "", ""])
+    return _fmt_table(["seqLen", "TensorRT", "OTF", "partial OTF"], rows,
+                      f"Fig.8 — attention latency (us), {args.model}")
+
+
+def cmd_fig9(args) -> str:
+    """Fig. 9 — pre-computed linear-transformation speedups."""
+    from repro.eval.latency import fig09_precompute
+
+    res = fig09_precompute()
+    rows = [[d] + res.speedup[d] + [res.mean_speedup(d)] for d in res.d_models]
+    return _fmt_table(["d_model"] + [f"H={h}" for h in res.heads] + ["mean"],
+                      rows, "Fig.9 — pre-computed linear transform speedup")
+
+
+def cmd_fig10(args) -> str:
+    """Fig. 10 — pruned linear-layer speedups per method."""
+    from repro.eval.latency import fig10_pruned_gemm
+
+    out = []
+    for d in (768, 1024):
+        res = fig10_pruned_gemm(d_model=d)
+        rows = [[s, res.speedup("row")[i], res.speedup("column")[i],
+                 res.speedup("tile")[i]]
+                for i, s in enumerate(res.sparsities)]
+        out.append(_fmt_table(["sparsity", "row", "column", "tile"], rows,
+                              f"Fig.10 — pruned GEMM speedup, d={d}"))
+    return "\n\n".join(out)
+
+
+def cmd_fig11(args) -> str:
+    """Fig. 11 — nvprof-style attention profiling counters."""
+    from repro.eval.latency import fig11_profiling
+
+    res = fig11_profiling()
+    rows = [[k, res.trt[k], res.otf[k]] for k in
+            ("gld_transactions", "gst_transactions", "sm_efficiency", "ipc")]
+    rows += [["load ratio", "", res.load_ratio],
+             ["store saving", "", res.store_saving]]
+    return _fmt_table(["counter", "TensorRT", "OTF"], rows,
+                      "Fig.11 — attention profiling counters")
+
+
+def cmd_fig12(args) -> str:
+    """Fig. 12 — achieved memory throughput per kernel."""
+    from repro.eval.latency import fig12_throughput
+
+    res = fig12_throughput()
+    rows = [[n, b] for n, b in res.trt_steps]
+    rows += [["TensorRT avg (paper 98)", res.trt_avg_gbs],
+             ["E.T. OTF (paper 311)", res.otf_gbs]]
+    return _fmt_table(["kernel", "GB/s"], rows, "Fig.12 — memory throughput")
+
+
+def cmd_fig13(args) -> str:
+    """Fig. 13 — pruning-mask structure renderings."""
+    from repro.eval.accuracy_exp import fig13_masks
+
+    res = fig13_masks()
+    blocks = []
+    for method in ("attention_aware", "irregular", "column", "tile"):
+        blocks.append(f"--- {method} ---\n"
+                      + res.ascii_art(method, rows=20, cols=40))
+    return "Fig.13 — in_proj_weight masks (2400x800, 50%)\n" + \
+        "\n\n".join(blocks)
+
+
+def _scale(args):
+    from repro.eval.accuracy_exp import SMALL, TINY, Scale
+
+    return {"tiny": TINY, "small": SMALL,
+            "bench": Scale(n_train=256, n_dev=160, epochs_finetune=3,
+                           epochs_reweighted=2, epochs_retrain=2)}[args.scale]
+
+
+def cmd_fig14(args) -> str:
+    """Fig. 14 — Transformer accuracy/latency vs ratio (trains)."""
+    from repro.eval.accuracy_exp import fig14_transformer
+
+    res = fig14_transformer(scale=_scale(args))
+    rows = [["baseline", res.baseline_accuracy, ""]]
+    for m in res.accuracy:
+        for r, a, l in zip(res.ratios, res.accuracy[m], res.latency_us[m]):
+            rows.append([f"{m}@{r}", a, l])
+    return _fmt_table(["method@ratio", "accuracy", "latency us"], rows,
+                      "Fig.14 — Transformer accuracy/latency vs ratio")
+
+
+def cmd_table1(args) -> str:
+    """Table 1 — GLUE scores/ratios/latencies (trains)."""
+    from repro.eval.accuracy_exp import table1
+
+    res = table1(model_name=args.model, scale=_scale(args))
+    tasks = list(res.baseline.scores)
+    rows = [["baseline"] + [res.baseline.scores[t] for t in tasks]
+            + [res.baseline.avg_score]]
+    for name, row in res.methods.items():
+        rows.append([name] + [row.scores[t] for t in tasks] + [row.avg_score])
+        rows.append([f"  latency ms"] + [row.latency_ms[t] for t in tasks]
+                    + [row.avg_latency_ms])
+    return _fmt_table(["method"] + tasks + ["AVG"], rows,
+                      f"Table 1 — {args.model}")
+
+
+LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "fig12", "fig13")
+ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
+
+
+def cmd_all(args) -> str:
+    """Run every latency experiment in sequence."""
+    out = []
+    for name in LATENCY_CMDS:
+        fn = globals()[f"cmd_{name}"]
+        t0 = time.time()
+        out.append(fn(args))
+        out.append(f"[{name}: {time.time() - t0:.1f}s]")
+    return "\n\n".join(out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the experiment-runner argument parser."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the E.T. paper's tables and figures.",
+    )
+    p.add_argument("experiment",
+                   choices=list(ALL_CMDS) + ["all", "list"],
+                   help="which experiment to run")
+    p.add_argument("--model", default="BERT_BASE",
+                   choices=["BERT_BASE", "Transformer", "DistilBERT"],
+                   help="model for fig8/table1")
+    p.add_argument("--scale", default="bench",
+                   choices=["tiny", "bench", "small"],
+                   help="training scale for fig14/table1")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("experiments:", ", ".join(ALL_CMDS), "+ 'all'")
+        return 0
+    fn = cmd_all if args.experiment == "all" else globals()[f"cmd_{args.experiment}"]
+    print(fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

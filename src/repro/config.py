@@ -1,0 +1,140 @@
+"""Model configurations for the transformer families evaluated in the paper.
+
+The paper (Section 5.1) evaluates three encoder-only models:
+
+- **Transformer** on WikiText-2: 2 encoder layers, d_model = 800, 4 heads.
+- **BERT_BASE** on GLUE: 12 encoder layers, d_model = 768, 12 heads.
+- **DistilBERT** on GLUE: 6 encoder layers, d_model = 768, 12 heads.
+
+Latency experiments use these full-size shapes (the GPU cost model only needs
+shapes, and NumPy executes the numerics); accuracy experiments may use the
+reduced-scale variants from :func:`small_config` to keep training tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Static shape description of an encoder-only transformer.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"BERT_BASE"``.
+    num_layers:
+        Number of stacked encoder layers (``L`` in the paper).
+    d_model:
+        Embedding / hidden dimension (``d_model``).
+    num_heads:
+        Number of self-attention heads (``H``). Must divide ``d_model``.
+    d_ff:
+        Inner dimension of the MLP block; BERT convention is ``4 * d_model``.
+    vocab_size:
+        Vocabulary size for the embedding layer.
+    max_seq_len:
+        Longest sequence the positional encoding table covers.
+    """
+
+    name: str
+    num_layers: int
+    d_model: int
+    num_heads: int
+    d_ff: int
+    vocab_size: int = 30522
+    max_seq_len: int = 512
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} must be divisible by "
+                f"num_heads={self.num_heads}"
+            )
+        if min(self.num_layers, self.d_model, self.num_heads, self.d_ff) <= 0:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def d_head(self) -> int:
+        """Per-head feature dimension (``d_k = d_model / H``)."""
+        return self.d_model // self.num_heads
+
+    def with_heads(self, num_heads: int) -> "ModelConfig":
+        """Return a copy with a different head count (used by Fig. 9 sweeps)."""
+        return replace(self, name=f"{self.name}-H{num_heads}", num_heads=num_heads)
+
+    def scaled(self, d_model: int, num_heads: int | None = None) -> "ModelConfig":
+        """Return a copy with a different width, keeping ``d_ff = 4 * d_model``."""
+        heads = num_heads if num_heads is not None else self.num_heads
+        return replace(
+            self,
+            name=f"{self.name}-d{d_model}",
+            d_model=d_model,
+            num_heads=heads,
+            d_ff=4 * d_model,
+        )
+
+
+#: The WikiText-2 Transformer from the paper: L = 2, d_model = 800, H = 4.
+TRANSFORMER_WT2 = ModelConfig(
+    name="Transformer",
+    num_layers=2,
+    d_model=800,
+    num_heads=4,
+    d_ff=3200,
+    vocab_size=28784,
+    max_seq_len=512,
+)
+
+#: Official BERT_BASE uncased shapes: L = 12, d_model = 768, H = 12.
+BERT_BASE = ModelConfig(
+    name="BERT_BASE",
+    num_layers=12,
+    d_model=768,
+    num_heads=12,
+    d_ff=3072,
+)
+
+#: DistilBERT: 6 encoder layers, otherwise BERT_BASE shapes.
+DISTILBERT = ModelConfig(
+    name="DistilBERT",
+    num_layers=6,
+    d_model=768,
+    num_heads=12,
+    d_ff=3072,
+)
+
+#: BERT_LARGE, used by the shared-memory budget discussion in Section 3.2.
+BERT_LARGE = ModelConfig(
+    name="BERT_LARGE",
+    num_layers=24,
+    d_model=1024,
+    num_heads=16,
+    d_ff=4096,
+)
+
+
+def small_config(
+    name: str = "small",
+    num_layers: int = 2,
+    d_model: int = 64,
+    num_heads: int = 4,
+    vocab_size: int = 512,
+    max_seq_len: int = 64,
+) -> ModelConfig:
+    """A reduced-scale config for accuracy/training experiments.
+
+    The pruning-accuracy experiments (Fig. 14, Table 1) train many model
+    variants; this keeps each run to seconds while exercising the identical
+    training, regularization and pruning code paths.
+    """
+    return ModelConfig(
+        name=name,
+        num_layers=num_layers,
+        d_model=d_model,
+        num_heads=num_heads,
+        d_ff=4 * d_model,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic evaluation workloads.
+
+The paper trains on WikiText-2 [30] and the GLUE benchmark [52]; neither
+corpus ships with this reproduction (no network), so this package generates
+synthetic stand-ins with the properties the experiments actually exercise:
+a *learnable* next-token structure for the LM pruning curves (Fig. 14) and
+seven classification/regression tasks with matched metric types and
+difficulty orderings for Table 1 — including a majority-class-only WNLI
+(every system in the paper scores exactly 56.3 on WNLI because the task is
+unlearnable at this scale; we preserve that).
+"""
+
+from repro.data.wikitext import SyntheticWikiText, batchify
+from repro.data.glue import (
+    GlueTask,
+    GLUE_TASKS,
+    make_task,
+    TaskData,
+)
+
+__all__ = [
+    "SyntheticWikiText",
+    "batchify",
+    "GlueTask",
+    "GLUE_TASKS",
+    "make_task",
+    "TaskData",
+]

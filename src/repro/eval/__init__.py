@@ -1,0 +1,14 @@
+"""Metrics and experiment harnesses.
+
+- :mod:`repro.eval.metrics` — accuracy, binary F1, Spearman correlation
+  (the GLUE conventions of Section 5.1).
+- :mod:`repro.eval.latency` — harnesses regenerating the latency/profiling
+  figures (Figs. 1, 7, 8, 9, 10, 11, 12).
+- :mod:`repro.eval.accuracy_exp` — harnesses regenerating the pruning-accuracy
+  experiments (Fig. 13, Fig. 14, Table 1); these train models.
+- :mod:`repro.eval.format` — fixed-width table rendering for bench output.
+"""
+
+from repro.eval.metrics import accuracy, f1_binary, spearman, glue_metric
+
+__all__ = ["accuracy", "f1_binary", "spearman", "glue_metric"]

@@ -1,0 +1,36 @@
+"""Fixed-width table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned text table (numbers get 3 decimals)."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(label: str, xs: Sequence[object], ys: Sequence[float],
+                  unit: str = "") -> str:
+    """One-line series rendering: ``label: x1=y1 x2=y2 …``."""
+    pairs = " ".join(f"{x}={y:.2f}{unit}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

@@ -1,0 +1,52 @@
+"""Evaluation metrics, following the GLUE conventions (Section 5.1):
+accuracy for MNLI / SST-2 / QNLI / WNLI, F1 for QQP / MRPC, Spearman
+correlation for STS-B."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.size == 0:
+        raise ValueError("empty prediction array")
+    return float((pred == target).mean())
+
+
+def f1_binary(pred: np.ndarray, target: np.ndarray, positive: int = 1) -> float:
+    """F1 of the positive class; 0.0 when the class never appears."""
+    pred, target = np.asarray(pred), np.asarray(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    tp = float(np.sum((pred == positive) & (target == positive)))
+    fp = float(np.sum((pred == positive) & (target != positive)))
+    fn = float(np.sum((pred != positive) & (target == positive)))
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom > 0 else 0.0
+
+
+def spearman(pred: np.ndarray, target: np.ndarray) -> float:
+    """Spearman rank correlation; 0.0 for degenerate (constant) inputs."""
+    pred, target = np.asarray(pred, float), np.asarray(target, float)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if np.std(pred) == 0 or np.std(target) == 0:
+        return 0.0
+    rho = stats.spearmanr(pred, target).statistic
+    return float(rho) if np.isfinite(rho) else 0.0
+
+
+def glue_metric(metric: str, pred: np.ndarray, target: np.ndarray) -> float:
+    """Dispatch on a task's metric name; returns a score in [0, 1]."""
+    if metric == "accuracy":
+        return accuracy(pred, target)
+    if metric == "f1":
+        return f1_binary(pred, target)
+    if metric == "spearman":
+        return spearman(pred, target)
+    raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,38 @@
+"""Analytical GPU device and kernel-cost model (the V100S substrate).
+
+The paper's speedups are architectural — fewer kernel launches, fewer global
+memory round trips, smaller GEMMs after pruning, higher occupancy — rather
+than micro-architectural. This package models exactly those effects:
+
+- :class:`DeviceSpec` holds published datasheet numbers (V100S, A100).
+- :class:`KernelCost` describes one kernel launch: FLOPs, global bytes moved,
+  shared memory per CTA, CTA count, tensor-core eligibility and efficiency
+  factors. Its execution time is a roofline ``max(compute, memory)`` plus a
+  launch overhead.
+- :class:`Timeline` records launched kernels and derives the profiling
+  counters nvprof reports in Figs. 11–12: ``gld_transactions``,
+  ``gst_transactions``, ``sm_efficiency``, ``IPC`` and achieved DRAM
+  throughput.
+"""
+
+from repro.gpu.device import DeviceSpec, V100S, A100, default_device
+from repro.gpu.kernel import (
+    KernelCost,
+    MemPattern,
+    mem_efficiency,
+    smem_fits,
+)
+from repro.gpu.counters import KernelRecord, Timeline
+
+__all__ = [
+    "DeviceSpec",
+    "V100S",
+    "A100",
+    "default_device",
+    "KernelCost",
+    "MemPattern",
+    "mem_efficiency",
+    "smem_fits",
+    "KernelRecord",
+    "Timeline",
+]

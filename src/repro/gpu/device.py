@@ -1,0 +1,92 @@
+"""GPU device specifications.
+
+Values for the V100S come from the NVIDIA Volta whitepaper [34] and the
+paper's own measurements: 1,134 GB/s HBM2 peak bandwidth (Section 5.2.6),
+80 SMs with 96 KB shared memory each (Section 3.2), 8 tensor cores per SM at
+64 FMA/cycle each (Section 2.2, "one SMX can perform 1,024 operations every
+cycle with tensor cores, or tensor core is 8× faster than the general cores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU for the analytical cost model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"V100S"``.
+    num_sms:
+        Streaming multiprocessor count.
+    smem_per_sm_bytes:
+        Shared memory capacity per SM; a kernel whose per-CTA shared memory
+        request exceeds this cannot launch (Section 3.2's Equation 6 budget).
+    peak_bw_gbs:
+        Peak DRAM bandwidth in GB/s.
+    peak_tc_tflops:
+        Peak FP16 tensor-core throughput in TFLOP/s.
+    peak_fp32_tflops:
+        Peak FP32 general-core throughput in TFLOP/s (what a non-tensor-core
+        engine such as eager FP32 PyTorch is limited by).
+    launch_overhead_us:
+        Fixed host-side + hardware cost per kernel launch.
+    sync_overhead_us:
+        Extra cost of a device-wide synchronization between dependent kernels
+        (the partial on-the-fly operator pays this between its two halves).
+    clock_ghz:
+        SM clock, used to convert kernel time to cycles for the IPC counter.
+    transaction_bytes:
+        Bytes per global-memory transaction; nvprof's ``gld_transactions`` /
+        ``gst_transactions`` count 32-byte sectors.
+    """
+
+    name: str
+    num_sms: int
+    smem_per_sm_bytes: int
+    peak_bw_gbs: float
+    peak_tc_tflops: float
+    peak_fp32_tflops: float
+    launch_overhead_us: float = 3.0
+    sync_overhead_us: float = 3.0
+    clock_ghz: float = 1.597
+    transaction_bytes: int = 32
+
+    def peak_flops(self, tensor_core: bool) -> float:
+        """Peak FLOP/s for the chosen execution-core type."""
+        tflops = self.peak_tc_tflops if tensor_core else self.peak_fp32_tflops
+        return tflops * 1e12
+
+    def peak_bytes_per_us(self) -> float:
+        """Peak DRAM bytes per microsecond."""
+        return self.peak_bw_gbs * 1e3
+
+
+#: The paper's evaluation GPU.
+V100S = DeviceSpec(
+    name="V100S",
+    num_sms=80,
+    smem_per_sm_bytes=96 * 1024,
+    peak_bw_gbs=1134.0,
+    peak_tc_tflops=130.0,
+    peak_fp32_tflops=16.4,
+)
+
+#: A100 (Section 2.2 / Section 7 discussion): BF16/TF32-capable follow-on.
+A100 = DeviceSpec(
+    name="A100",
+    num_sms=108,
+    smem_per_sm_bytes=164 * 1024,
+    peak_bw_gbs=1555.0,
+    peak_tc_tflops=312.0,
+    peak_fp32_tflops=19.5,
+    clock_ghz=1.41,
+)
+
+
+def default_device() -> DeviceSpec:
+    """The device every experiment runs on unless overridden (the V100S)."""
+    return V100S

@@ -1,0 +1,52 @@
+"""NumPy training substrate: autograd, transformer modules, optimizers.
+
+The pruning experiments (Section 4, Table 1, Fig. 14) need real training:
+pre-training, reweighted group-lasso regularization, pruning and masked
+retraining with AdamW. This package provides a compact reverse-mode autograd
+over NumPy plus the transformer model family the paper evaluates.
+"""
+
+from repro.nn.autograd import Tensor, no_grad, grad_enabled
+from repro.nn.modules import (
+    Module,
+    Parameter,
+    Linear,
+    Embedding,
+    LayerNorm,
+    Dropout,
+    MultiHeadSelfAttention,
+    PrecomputedSelfAttention,
+    FeedForward,
+    EncoderLayer,
+    Encoder,
+    positional_encoding,
+)
+from repro.nn.models import TransformerLM, EncoderClassifier, build_model
+from repro.nn.optim import SGD, AdamW, clip_grad_norm
+from repro.nn.trainer import Trainer, TrainConfig
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "PrecomputedSelfAttention",
+    "FeedForward",
+    "EncoderLayer",
+    "Encoder",
+    "positional_encoding",
+    "TransformerLM",
+    "EncoderClassifier",
+    "build_model",
+    "SGD",
+    "AdamW",
+    "clip_grad_norm",
+    "Trainer",
+    "TrainConfig",
+]

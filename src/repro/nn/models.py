@@ -1,0 +1,145 @@
+"""The model family the paper evaluates.
+
+- :class:`TransformerLM` — the WikiText-2 "Transformer": an encoder LM with a
+  causal mask and a next-token head (L=2, d_model=800, H=4 at paper scale).
+- :class:`EncoderClassifier` — BERT_BASE / DistilBERT stand-ins for GLUE: an
+  unmasked encoder with a first-token pooled classification (or regression)
+  head and an extra untrained task layer, fine-tuned per task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+from repro.nn.modules import (
+    Dropout,
+    Embedding,
+    Encoder,
+    LayerNorm,
+    Linear,
+    Module,
+    positional_encoding,
+)
+from repro.ops.softmax import MASK_NEG
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive lower-triangular mask (training-side twin of ops.causal_mask)."""
+    m = np.zeros((seq_len, seq_len))
+    m[np.triu_indices(seq_len, k=1)] = MASK_NEG
+    return m
+
+
+class TransformerLM(Module):
+    """Causal-masked encoder language model for next-token prediction."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator,
+                 dropout_p: float = 0.0, precomputed: bool = False) -> None:
+        super().__init__()
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.d_model, rng)
+        self.pe = positional_encoding(config.max_seq_len, config.d_model)
+        self.dropout = Dropout(dropout_p, rng)
+        self.encoder = Encoder(
+            config.num_layers, config.d_model, config.num_heads, config.d_ff,
+            rng, dropout_p, activation="gelu", precomputed=precomputed,
+        )
+        self.lm_head = Linear(config.d_model, config.vocab_size, rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """``(B, s)`` int tokens → ``(B, s, V)`` next-token logits."""
+        tokens = np.asarray(tokens)
+        b, s = tokens.shape
+        if s > self.config.max_seq_len:
+            raise ValueError(f"sequence length {s} exceeds max {self.config.max_seq_len}")
+        x = self.embed(tokens) + Tensor(self.pe[:s])
+        x = self.dropout(x)
+        x = self.encoder(x, causal_mask(s))
+        return self.lm_head(x)
+
+    def loss(self, tokens: np.ndarray) -> Tensor:
+        """Shifted next-token cross entropy over a ``(B, s)`` batch."""
+        logits = self.forward(tokens[:, :-1])
+        return ag.cross_entropy(logits, tokens[:, 1:])
+
+    def accuracy(self, tokens: np.ndarray) -> float:
+        """Next-word top-1 accuracy (the paper's WikiText-2 metric)."""
+        logits = self.forward(tokens[:, :-1]).data
+        pred = logits.argmax(axis=-1)
+        return float((pred == tokens[:, 1:]).mean())
+
+
+class EncoderClassifier(Module):
+    """Encoder + pooled task head (classification or regression)."""
+
+    def __init__(self, config: ModelConfig, num_outputs: int,
+                 rng: np.random.Generator, dropout_p: float = 0.0,
+                 regression: bool = False, precomputed: bool = False) -> None:
+        super().__init__()
+        if num_outputs < 1:
+            raise ValueError("num_outputs must be >= 1")
+        self.config = config
+        self.regression = regression
+        self.embed = Embedding(config.vocab_size, config.d_model, rng)
+        self.pe = positional_encoding(config.max_seq_len, config.d_model)
+        self.dropout = Dropout(dropout_p, rng)
+        self.encoder = Encoder(
+            config.num_layers, config.d_model, config.num_heads, config.d_ff,
+            rng, dropout_p, activation="gelu", precomputed=precomputed,
+        )
+        self.pool_norm = LayerNorm(config.d_model)
+        # The "additional untrained classification layer" of Section 5.1.
+        self.head = Linear(config.d_model, num_outputs, rng)
+
+    def encode(self, tokens: np.ndarray) -> Tensor:
+        """Embed + position-encode + run the encoder stack."""
+        tokens = np.asarray(tokens)
+        _, s = tokens.shape
+        if s > self.config.max_seq_len:
+            raise ValueError(f"sequence length {s} exceeds max {self.config.max_seq_len}")
+        x = self.embed(tokens) + Tensor(self.pe[:s])
+        x = self.dropout(x)
+        return self.encoder(x, None)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """``(B, s)`` tokens → ``(B, num_outputs)`` logits / scores."""
+        enc = self.encode(tokens)
+        pooled = self.pool_norm(enc.mean(axis=1))
+        return self.head(pooled)
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Cross-entropy (classification) or MSE (regression) batch loss."""
+        out = self.forward(tokens)
+        if self.regression:
+            return ag.mse_loss(out.reshape(out.shape[0]), targets)
+        return ag.cross_entropy(out, targets)
+
+    def predict(self, tokens: np.ndarray) -> np.ndarray:
+        """Class ids (classification) or scalar scores (regression)."""
+        out = self.forward(tokens).data
+        if self.regression:
+            return out.reshape(out.shape[0])
+        return out.argmax(axis=-1)
+
+
+def build_model(
+    config: ModelConfig,
+    task: str,
+    rng: np.random.Generator,
+    num_outputs: int = 2,
+    dropout_p: float = 0.0,
+    precomputed: bool = False,
+) -> Module:
+    """Factory: ``task`` is ``"lm"``, ``"classification"`` or ``"regression"``."""
+    if task == "lm":
+        return TransformerLM(config, rng, dropout_p, precomputed)
+    if task == "classification":
+        return EncoderClassifier(config, num_outputs, rng, dropout_p,
+                                 regression=False, precomputed=precomputed)
+    if task == "regression":
+        return EncoderClassifier(config, 1, rng, dropout_p,
+                                 regression=True, precomputed=precomputed)
+    raise ValueError(f"unknown task {task!r}")

@@ -1,0 +1,341 @@
+"""Transformer building blocks on the autograd substrate.
+
+The encoder follows Fig. 1: multi-head self-attention, residual + layernorm,
+two-layer MLP with activation, residual + layernorm. Positional encodings are
+the sinusoidal ones of Equations 1–2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor, optionally carrying a pruning mask.
+
+    When ``mask`` is set (0/1 array of the parameter's shape), optimizers
+    re-apply it after every update — this is the "retrain the non-zero
+    entries" step (vi) of the Section 4.2 pipeline.
+    """
+
+    __slots__ = ("mask",)
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+        self.mask: np.ndarray | None = None
+
+    def set_mask(self, mask: np.ndarray | None) -> None:
+        """Install (or clear) a pruning mask, zeroing masked entries now."""
+        if mask is not None:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.shape != self.shape:
+                raise ValueError(f"mask shape {mask.shape} != param {self.shape}")
+            self.data = self.data * mask
+        self.mask = mask
+
+
+class Module:
+    """Base class with parameter discovery, modes and state dicts."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- discovery ------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, Parameter)`` for this module tree."""
+        for name, attr in vars(self).items():
+            full = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(attr, Parameter):
+                yield full, attr
+            elif isinstance(attr, Module):
+                yield from attr.named_parameters(full)
+            elif isinstance(attr, (list, tuple)):
+                for i, item in enumerate(attr):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of the module tree."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for attr in vars(self).values():
+            if isinstance(attr, Module):
+                yield from attr.modules()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- modes ------------------------------------------------------------------
+
+    def train(self) -> "Module":
+        """Switch the whole tree to training mode."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the whole tree to inference mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state ---------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, p in own.items():
+            if state[name].shape != p.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {state[name].shape} vs {p.shape}"
+                )
+            p.data = np.array(state[name], dtype=np.float64)
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module's output; subclasses implement this."""
+        raise NotImplementedError
+
+
+def _init_weight(rng: np.random.Generator, shape: tuple[int, ...],
+                 std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)
+
+
+class Linear(Module):
+    """``y = x · Wᵀ + b`` with weight of shape ``(out_features, in_features)``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_init_weight(rng, (out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Affine projection ``x·Wᵀ + b``."""
+        y = x @ self.weight.transpose()
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+class Embedding(Module):
+    """Token-id to dense-vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(_init_weight(rng, (num_embeddings, dim)))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Look up embeddings for an integer id array."""
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError("token id out of vocabulary range")
+        return ag.embedding(self.weight, ids)
+
+
+class LayerNorm(Module):
+    """Per-token normalization over the feature axis with affine params."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalize over the trailing axis with affine transform."""
+        return ag.layer_norm(x, self.gamma, self.beta, self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero activations while training."""
+        return ag.dropout(x, self.p, self.rng, training=self.training)
+
+
+def positional_encoding(max_len: int, d_model: int) -> np.ndarray:
+    """Sinusoidal positional encodings (Equations 1–2)."""
+    pos = np.arange(max_len)[:, None].astype(np.float64)
+    i = np.arange(d_model // 2)[None, :].astype(np.float64)
+    angles = pos / np.power(10000.0, 2.0 * i / d_model)
+    pe = np.zeros((max_len, d_model))
+    pe[:, 0::2] = np.sin(angles)
+    pe[:, 1::2] = np.cos(angles)
+    return pe
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention (Equation 3 + W_O combine)."""
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator,
+                 dropout_p: float = 0.0) -> None:
+        super().__init__()
+        if d_model % num_heads:
+            raise ValueError(f"d_model {d_model} not divisible by H={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.wq = Linear(d_model, d_model, rng)
+        self.wk = Linear(d_model, d_model, rng)
+        self.wv = Linear(d_model, d_model, rng)
+        self.wo = Linear(d_model, d_model, rng)
+        self.dropout = Dropout(dropout_p, rng)
+
+    def _heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Multi-head attention over ``(B, s, d)`` activations."""
+        b, s, _ = x.shape
+        q = self._heads(self.wq(x), b, s)
+        k = self._heads(self.wk(x), b, s)
+        v = self._heads(self.wv(x), b, s)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        probs = self.dropout(ag.softmax(scores, axis=-1))
+        z = probs @ v  # (b, H, s, d_head)
+        z = z.transpose(0, 2, 1, 3).reshape(b, s, self.d_model)
+        return self.wo(z)
+
+
+class PrecomputedSelfAttention(Module):
+    """Self-attention that trains the folded ``M_h = W_V,hᵀ·W_O,hᵀ`` directly.
+
+    Section 7 ("E.T. for training"): the pre-computed architecture has no
+    separate W_V / W_O — backprop updates the per-head folded matrix. Output
+    is ``Σ_h S_h · (X · M_h)``.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator,
+                 dropout_p: float = 0.0) -> None:
+        super().__init__()
+        if d_model % num_heads:
+            raise ValueError(f"d_model {d_model} not divisible by H={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.wq = Linear(d_model, d_model, rng)
+        self.wk = Linear(d_model, d_model, rng)
+        # Folded matrices; scale matches the product of two 0.02-std inits.
+        self.m = Parameter(_init_weight(rng, (num_heads, d_model, d_model),
+                                        std=0.02 / np.sqrt(d_model)))
+        self.dropout = Dropout(dropout_p, rng)
+
+    def _heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Folded-matrix attention: ``Σ_h S_h · (X·M_h)``."""
+        b, s, _ = x.shape
+        q = self._heads(self.wq(x), b, s)
+        k = self._heads(self.wk(x), b, s)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        probs = self.dropout(ag.softmax(scores, axis=-1))
+        # xm: (b, H, s, d) = x (b, s, d) @ m (H, d, d), broadcast over batch.
+        xm = x.reshape(b, 1, s, self.d_model) @ self.m
+        z = probs @ xm  # (b, H, s, d)
+        return z.sum(axis=1)
+
+
+class FeedForward(Module):
+    """The encoder's MLP: Linear → activation → Linear."""
+
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator,
+                 activation: str = "gelu", dropout_p: float = 0.0) -> None:
+        super().__init__()
+        if activation not in ("gelu", "relu"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.fc1 = Linear(d_model, d_ff, rng)
+        self.fc2 = Linear(d_ff, d_model, rng)
+        self.activation = activation
+        self.dropout = Dropout(dropout_p, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Two-layer MLP with activation."""
+        h = self.fc1(x)
+        h = h.gelu() if self.activation == "gelu" else h.relu()
+        return self.fc2(self.dropout(h))
+
+
+class EncoderLayer(Module):
+    """One encoder of Fig. 1: attention and MLP, each with add + layernorm."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 rng: np.random.Generator, dropout_p: float = 0.0,
+                 activation: str = "gelu", precomputed: bool = False) -> None:
+        super().__init__()
+        attn_cls = PrecomputedSelfAttention if precomputed else MultiHeadSelfAttention
+        self.attn = attn_cls(d_model, num_heads, rng, dropout_p)
+        self.ffn = FeedForward(d_model, d_ff, rng, activation, dropout_p)
+        self.ln1 = LayerNorm(d_model)
+        self.ln2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout_p, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Attention + MLP, each with residual add and layernorm."""
+        y = self.ln1(x + self.dropout(self.attn(x, mask)))
+        return self.ln2(y + self.dropout(self.ffn(y)))
+
+
+class Encoder(Module):
+    """A stack of identical-structure, independently trained encoder layers."""
+
+    def __init__(self, num_layers: int, d_model: int, num_heads: int, d_ff: int,
+                 rng: np.random.Generator, dropout_p: float = 0.0,
+                 activation: str = "gelu", precomputed: bool = False) -> None:
+        super().__init__()
+        self.layers = [
+            EncoderLayer(d_model, num_heads, d_ff, rng, dropout_p, activation,
+                         precomputed)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Run every encoder layer in order."""
+        for layer in self.layers:
+            x = layer(x, mask)
+        return x

@@ -1,0 +1,121 @@
+"""Optimizers: SGD with momentum and AdamW (the paper trains with AdamW).
+
+Both honor :class:`~repro.nn.modules.Parameter.mask`: after each update the
+mask is re-applied, freezing pruned entries at zero — the masked-retraining
+step of the Section 4.2 pipeline. Gradients of masked entries are also zeroed
+so momentum/second-moment state never accumulates for dead weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class _OptimizerBase:
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear every tracked parameter gradient."""
+        for p in self.params:
+            p.zero_grad()
+
+    def _masked_grad(self, p: Parameter) -> np.ndarray | None:
+        if p.grad is None:
+            return None
+        if p.mask is not None:
+            return p.grad * p.mask
+        return p.grad
+
+    def _apply_mask(self, p: Parameter) -> None:
+        if p.mask is not None:
+            p.data *= p.mask
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one parameter update from the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(_OptimizerBase):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float,
+                 momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One (momentum) SGD update; masked entries stay zero."""
+        for p, v in zip(self.params, self._velocity):
+            g = self._masked_grad(p)
+            if g is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+            self._apply_mask(p)
+
+
+class AdamW(_OptimizerBase):
+    """AdamW with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError(f"invalid betas {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """One AdamW update with decoupled decay; masked entries stay zero."""
+        self._t += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self._t
+        bc2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = self._masked_grad(p)
+            if g is None:
+                continue
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+            self._apply_mask(p)

@@ -1,0 +1,57 @@
+"""GPU-costed operator library.
+
+Every operator both executes its numerics with NumPy and records a
+:class:`~repro.gpu.kernel.KernelCost` into the :class:`~repro.gpu.Timeline`
+carried by an :class:`ExecContext`. Engines differ only in which operators
+they call and how they fuse them — numerics are identical across engines,
+which is what lets the tests assert bit-comparable outputs between the
+PyTorch-like, TensorRT-like, FasterTransformer-like and E.T. runtimes.
+"""
+
+from repro.ops.context import ExecContext
+from repro.ops.gemm import GemmAlgo, gemm, batched_gemm, gemm_efficiency, gemm_bias_act
+from repro.ops.elementwise import (
+    add_bias,
+    residual_add,
+    scale,
+    gelu_op,
+    relu_op,
+    transpose_heads,
+    gelu,
+    relu,
+)
+from repro.ops.softmax import softmax_rows, apply_mask, masked_softmax, causal_mask
+from repro.ops.layernorm import layer_norm_op, layer_norm
+from repro.ops.sparse_gemm import (
+    tile_gemm,
+    row_pruned_gemm,
+    col_pruned_gemm,
+    irregular_gemm,
+)
+
+__all__ = [
+    "ExecContext",
+    "GemmAlgo",
+    "gemm",
+    "batched_gemm",
+    "gemm_efficiency",
+    "gemm_bias_act",
+    "add_bias",
+    "residual_add",
+    "scale",
+    "gelu_op",
+    "relu_op",
+    "transpose_heads",
+    "gelu",
+    "relu",
+    "softmax_rows",
+    "apply_mask",
+    "masked_softmax",
+    "causal_mask",
+    "layer_norm_op",
+    "layer_norm",
+    "tile_gemm",
+    "row_pruned_gemm",
+    "col_pruned_gemm",
+    "irregular_gemm",
+]

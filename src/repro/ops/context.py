@@ -1,0 +1,59 @@
+"""Execution context threaded through every operator call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.counters import Timeline
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import MemPattern
+
+
+@dataclass
+class ExecContext:
+    """Engine-level execution policy plus the recording timeline.
+
+    Attributes
+    ----------
+    tl:
+        The kernel timeline; operators launch costs into it.
+    bytes_per_elem:
+        Storage width of activations/weights: 2 for the FP16 engines
+        (TensorRT-like, FasterTransformer-like, E.T.), 4 for the eager FP32
+        PyTorch-like baseline.
+    tensor_core:
+        Whether GEMMs run on tensor cores (FP16 engines) or FP32 general
+        cores.
+    elementwise_pattern:
+        Memory-access quality of the engine's pointwise kernels; hand-tuned
+        engines stream, generic framework kernels are merely tiled.
+    """
+
+    tl: Timeline
+    bytes_per_elem: int = 2
+    tensor_core: bool = True
+    elementwise_pattern: MemPattern = MemPattern.TILED
+
+    @property
+    def device(self) -> DeviceSpec:
+        """The timeline's simulated GPU."""
+        return self.tl.device
+
+    def fork(self) -> "ExecContext":
+        """Same policy, fresh empty timeline (for cost what-ifs)."""
+        return ExecContext(
+            tl=self.tl.fork(),
+            bytes_per_elem=self.bytes_per_elem,
+            tensor_core=self.tensor_core,
+            elementwise_pattern=self.elementwise_pattern,
+        )
+
+
+def fp16_ctx(tl: Timeline) -> ExecContext:
+    """Context for the tensor-core FP16 engines."""
+    return ExecContext(tl=tl, bytes_per_elem=2, tensor_core=True)
+
+
+def fp32_ctx(tl: Timeline) -> ExecContext:
+    """Context for the eager FP32 (PyTorch-like) engine."""
+    return ExecContext(tl=tl, bytes_per_elem=4, tensor_core=False)

@@ -1,0 +1,55 @@
+"""Attention-aware, tensor-core-friendly model pruning (Section 4).
+
+- :mod:`repro.pruning.masks` — row / column / irregular / tensor-tile mask
+  generation from weight magnitudes and group norms.
+- :mod:`repro.pruning.reweighted` — the reweighted group-lasso regularizer
+  (Equation 8, Fig. 6 steps (ii)–(iv)).
+- :mod:`repro.pruning.pipeline` — end-to-end pipelines: reweighted training →
+  percentile pruning → masked retraining, for every method.
+- :mod:`repro.pruning.attention_aware` — the adaptive per-matrix strategy of
+  Section 4.3.
+- :mod:`repro.pruning.lowrank` — the SVD low-rank baseline of Section 6.
+"""
+
+from repro.pruning.masks import (
+    irregular_mask,
+    row_mask,
+    col_mask,
+    tile_mask,
+    sparsity,
+    mask_summary,
+)
+from repro.pruning.reweighted import ReweightedGroupLasso
+from repro.pruning.attention_aware import (
+    AttentionAwarePlan,
+    plan_attention_aware,
+    MatrixRole,
+)
+from repro.pruning.pipeline import (
+    PruneMethod,
+    PruneSummary,
+    prunable_parameters,
+    prune_model,
+    prune_and_retrain,
+)
+from repro.pruning.lowrank import svd_compress, LowRankLinearFactors
+
+__all__ = [
+    "irregular_mask",
+    "row_mask",
+    "col_mask",
+    "tile_mask",
+    "sparsity",
+    "mask_summary",
+    "ReweightedGroupLasso",
+    "AttentionAwarePlan",
+    "plan_attention_aware",
+    "MatrixRole",
+    "PruneMethod",
+    "PruneSummary",
+    "prunable_parameters",
+    "prune_model",
+    "prune_and_retrain",
+    "svd_compress",
+    "LowRankLinearFactors",
+]

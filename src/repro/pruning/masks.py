@@ -1,0 +1,87 @@
+"""Pruning-mask generation.
+
+Every generator takes a weight matrix and a *pruning ratio* (fraction of
+weights to remove) and returns an element-level 0/1 mask of the weight's
+shape. Selection is always by (group) magnitude: the smallest
+|w| / row-norms / column-norms / tile-norms are pruned, matching step (v) of
+the Fig. 6 pipeline ("perform weight pruning based on l2 norm … if the value
+is less than pre-set percentile, we set the value to 0").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tiles import TENSOR_TILE, expand_tile_mask, tile_norms
+
+
+def _validate_ratio(ratio: float) -> None:
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError(f"pruning ratio must be in [0, 1), got {ratio}")
+
+
+def _keep_top(scores: np.ndarray, ratio: float) -> np.ndarray:
+    """Boolean mask keeping the top ``(1-ratio)`` fraction of ``scores``.
+
+    Ties are broken deterministically by index, and at least one group always
+    survives.
+    """
+    flat = scores.reshape(-1)
+    n = flat.size
+    n_prune = min(int(round(n * ratio)), n - 1)
+    if n_prune <= 0:
+        return np.ones_like(scores, dtype=bool)
+    # argsort ascending: prune the first n_prune
+    order = np.argsort(flat, kind="stable")
+    mask = np.ones(n, dtype=bool)
+    mask[order[:n_prune]] = False
+    return mask.reshape(scores.shape)
+
+
+def irregular_mask(w: np.ndarray, ratio: float) -> np.ndarray:
+    """Magnitude pruning at arbitrary locations [23]."""
+    _validate_ratio(ratio)
+    return _keep_top(np.abs(np.asarray(w, dtype=np.float64)), ratio).astype(np.float64)
+
+
+def row_mask(w: np.ndarray, ratio: float) -> np.ndarray:
+    """Prune whole rows by l2 norm; returns an element-level mask."""
+    _validate_ratio(ratio)
+    norms = np.linalg.norm(np.asarray(w, dtype=np.float64), axis=1)
+    keep = _keep_top(norms, ratio)
+    return np.repeat(keep[:, None], w.shape[1], axis=1).astype(np.float64)
+
+
+def col_mask(w: np.ndarray, ratio: float) -> np.ndarray:
+    """Prune whole columns by l2 norm; returns an element-level mask."""
+    _validate_ratio(ratio)
+    norms = np.linalg.norm(np.asarray(w, dtype=np.float64), axis=0)
+    keep = _keep_top(norms, ratio)
+    return np.repeat(keep[None, :], w.shape[0], axis=0).astype(np.float64)
+
+
+def tile_mask(
+    w: np.ndarray,
+    ratio: float,
+    tile: tuple[int, int] = (TENSOR_TILE, TENSOR_TILE),
+) -> np.ndarray:
+    """Prune whole ``r×c`` tensor tiles by group l2 norm (Fig. 6 step (v))."""
+    _validate_ratio(ratio)
+    norms = tile_norms(w, tile)
+    keep = _keep_top(norms, ratio)
+    return expand_tile_mask(keep, tile).astype(np.float64)
+
+
+def sparsity(mask: np.ndarray) -> float:
+    """Fraction of zero entries in an element-level mask."""
+    m = np.asarray(mask)
+    return 1.0 - float(np.count_nonzero(m)) / m.size if m.size else 0.0
+
+
+def mask_summary(masks: dict[str, np.ndarray]) -> dict[str, float]:
+    """Per-matrix and overall achieved sparsity."""
+    out = {name: sparsity(m) for name, m in masks.items()}
+    total = sum(m.size for m in masks.values())
+    zeros = sum(m.size - np.count_nonzero(m) for m in masks.values())
+    out["__overall__"] = zeros / total if total else 0.0
+    return out

@@ -1,0 +1,49 @@
+"""GEMM algorithm autotuning.
+
+"E.T. can automatically search through various linear transformation
+implementations and choose the optimal one (similar to FasterTransformer)"
+(Section 5.2.1). The search space is the cuBLAS algorithm table of
+:class:`~repro.ops.gemm.GemmAlgo`; candidates are evaluated with the cost
+model exactly as the real system times candidate routines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.gpu.device import DeviceSpec, default_device
+from repro.gpu.kernel import KernelCost, MemPattern
+from repro.ops.gemm import GemmAlgo, gemm_efficiency
+
+
+@lru_cache(maxsize=4096)
+def autotune_gemm_algo(
+    m: int,
+    n: int,
+    k: int,
+    bytes_per_elem: int = 2,
+    tensor_core: bool = True,
+    device: DeviceSpec | None = None,
+) -> GemmAlgo:
+    """Pick the fastest algorithm for an ``m×k @ k×n`` GEMM on ``device``.
+
+    On the V100S shapes of the paper this resolves to
+    ``CUBLAS_GEMM_ALGO5_TENSOR_OP``, matching Section 5.2.1.
+    """
+    dev = device or default_device()
+    best_algo, best_t = None, float("inf")
+    for algo in GemmAlgo:
+        cost = KernelCost(
+            name="probe",
+            flops=2.0 * m * n * k,
+            bytes_loaded=(m * k + k * n) * bytes_per_elem,
+            bytes_stored=m * n * bytes_per_elem,
+            uses_tensor_core=tensor_core,
+            compute_eff=gemm_efficiency(m, n, k, algo, tensor_core),
+            mem_pattern=MemPattern.TILED,
+        )
+        t = cost.time_us(dev)
+        if t < best_t:
+            best_algo, best_t = algo, t
+    assert best_algo is not None
+    return best_algo

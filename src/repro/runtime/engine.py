@@ -1,0 +1,82 @@
+"""Engine base class and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.counters import Timeline
+from repro.gpu.device import DeviceSpec, default_device
+from repro.ops.context import ExecContext
+from repro.runtime.weights import EncoderWeights
+
+
+@dataclass
+class EngineResult:
+    """Output of one engine invocation."""
+
+    output: np.ndarray
+    timeline: Timeline
+    choices: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end model latency in cost-model microseconds."""
+        return self.timeline.total_time_us
+
+
+class Engine:
+    """Base inference engine: runs an encoder stack over one sequence.
+
+    Subclasses implement :meth:`make_ctx` (precision/pattern policy) and
+    :meth:`run_layer` (kernel schedule). ``run`` drives the stack and collects
+    the timeline.
+    """
+
+    name = "base"
+
+    def __init__(self, weights: EncoderWeights,
+                 device: DeviceSpec | None = None) -> None:
+        self.weights = weights
+        self.device = device or default_device()
+        self._compile()
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _compile(self) -> None:
+        """One-time preparation (sparse format construction, folding)."""
+
+    def make_ctx(self, tl: Timeline) -> ExecContext:  # pragma: no cover
+        """Build the engine's precision/pattern execution policy."""
+        raise NotImplementedError
+
+    def run_layer(self, ctx: ExecContext, x: np.ndarray, layer_idx: int,
+                  mask: np.ndarray | None, choices: dict[str, str]) -> np.ndarray:
+        """Execute one encoder layer, recording its kernels into ``ctx``."""
+        raise NotImplementedError  # pragma: no cover
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, x: np.ndarray, mask: np.ndarray | None = None) -> EngineResult:
+        """Run the full encoder stack on ``x`` of shape ``(s, d_model)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.weights.config.d_model:
+            raise ValueError(
+                f"expected (s, {self.weights.config.d_model}) input, got {x.shape}"
+            )
+        tl = Timeline(self.device)
+        ctx = self.make_ctx(tl)
+        choices: dict[str, str] = {}
+        y = x
+        for i in range(len(self.weights.layers)):
+            with tl.region(f"layer{i}"):
+                y = self.run_layer(ctx, y, i, mask, choices)
+        return EngineResult(output=y, timeline=tl, choices=choices)
+
+    def latency_us(self, seq_len: int, mask: np.ndarray | None = None,
+                   seed: int = 0) -> float:
+        """Model latency for a random input of the given sequence length."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((seq_len, self.weights.config.d_model))
+        return self.run(x, mask).latency_us

@@ -1,0 +1,45 @@
+"""Numerics substrate: reduced-precision emulation, tiles, sparse formats."""
+
+from repro.tensor.fp16 import (
+    FP16_MAX,
+    BF16_MAX,
+    to_fp16,
+    to_bf16,
+    fp16_overflow_mask,
+    fp16_matmul,
+    MatmulReport,
+)
+from repro.tensor.tiles import (
+    tile_view,
+    untile_view,
+    tile_norms,
+    expand_tile_mask,
+    tile_grid_shape,
+    check_tileable,
+)
+from repro.tensor.sparse import (
+    CondensedRowPruned,
+    CondensedColPruned,
+    TileBCSR,
+    dense_from_mask,
+)
+
+__all__ = [
+    "FP16_MAX",
+    "BF16_MAX",
+    "to_fp16",
+    "to_bf16",
+    "fp16_overflow_mask",
+    "fp16_matmul",
+    "MatmulReport",
+    "tile_view",
+    "untile_view",
+    "tile_norms",
+    "expand_tile_mask",
+    "tile_grid_shape",
+    "check_tileable",
+    "CondensedRowPruned",
+    "CondensedColPruned",
+    "TileBCSR",
+    "dense_from_mask",
+]

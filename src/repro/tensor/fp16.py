@@ -1,0 +1,210 @@
+"""IEEE binary16 (FP16) and bfloat16 emulation with overflow tracking.
+
+Section 3.3 of the paper observes that computing ``Q · Kᵀ`` on tensor cores in
+pure FP16 overflows for most entries (Fig. 4), forcing mixed-precision (FP32
+accumulation) with its extra shared-memory and conversion costs — unless the
+``1/√d_k`` scaling is *reordered* to happen on ``Q`` before the product.
+
+This module reproduces that numerics story bit-honestly on NumPy:
+
+- :func:`fp16_matmul` emulates a tensor-core FMA chain, either accumulating in
+  FP16 (each partial product and each partial sum rounded to binary16) or in
+  FP32 (mixed precision), and reports exactly which output entries overflowed.
+- :func:`to_bf16` emulates bfloat16 by truncating the FP32 mantissa, for the
+  A100/TPU discussion in Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Largest finite IEEE binary16 value.
+FP16_MAX = 65504.0
+
+#: Largest finite bfloat16 value (same exponent range as FP32).
+BF16_MAX = float(np.finfo(np.float32).max)
+
+
+def to_fp16(x: np.ndarray) -> np.ndarray:
+    """Round to IEEE binary16. Values beyond ±65504 become ±inf (IEEE default)."""
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float32).astype(np.float16)
+
+
+def to_bf16(x: np.ndarray) -> np.ndarray:
+    """Emulate bfloat16 by zeroing the low 16 bits of the FP32 representation.
+
+    This is round-toward-zero truncation, which matches the storage format's
+    precision (8-bit mantissa); the dynamic range is identical to FP32, which
+    is why BF16 does *not* exhibit the Fig. 4 overflow problem.
+    """
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    truncated = (bits & np.uint32(0xFFFF0000)).view(np.float32)
+    return truncated
+
+
+def to_bf16_rne(x: np.ndarray) -> np.ndarray:
+    """BF16 with round-to-nearest-even — what BF16 *arithmetic* units do.
+
+    Plain truncation (:func:`to_bf16`) systematically rounds toward zero,
+    which biases long accumulations; hardware FMA rounding is RNE.
+    """
+    x32 = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+    bits = x32.view(np.uint32).copy()
+    finite = np.isfinite(x32)
+    rounding = np.uint32(0x7FFF) + ((bits >> np.uint32(16)) & np.uint32(1))
+    bits[finite] = bits[finite] + rounding[finite]
+    out = (bits & np.uint32(0xFFFF0000)).view(np.float32)
+    return out
+
+
+def fp16_overflow_mask(x: np.ndarray) -> np.ndarray:
+    """Boolean mask of entries whose magnitude exceeds the FP16 finite range."""
+    return np.abs(np.asarray(x, dtype=np.float64)) > FP16_MAX
+
+
+@dataclass
+class MatmulReport:
+    """Result of an emulated reduced-precision matrix multiplication.
+
+    Attributes
+    ----------
+    result:
+        The product, as float32 (decoded from the emulated precision).
+    overflow_mask:
+        Boolean array, True where the entry overflowed at any point during
+        the accumulation (a partial product or a partial sum left the finite
+        FP16 range). This is what Fig. 4's heatmap shadows.
+    overflow_fraction:
+        Convenience scalar: fraction of entries that overflowed.
+    """
+
+    result: np.ndarray
+    overflow_mask: np.ndarray
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Fraction of output entries that overflowed."""
+        return float(self.overflow_mask.mean()) if self.overflow_mask.size else 0.0
+
+
+def fp16_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    accumulate: str = "fp16",
+) -> MatmulReport:
+    """Emulate ``a @ b`` as a tensor-core FMA chain in reduced precision.
+
+    Parameters
+    ----------
+    a, b:
+        2-D operands; they are first rounded to FP16 (the tensor core's input
+        format regardless of the accumulation mode).
+    accumulate:
+        ``"fp16"`` — pure FP16: every partial product *and* every partial sum
+        is rounded to binary16, so intermediate magnitudes above 65504 saturate
+        to inf and the entry is flagged as overflowed. This is the fast mode
+        the paper's scaling reorder enables.
+
+        ``"fp32"`` — mixed precision (V100S default): products are FP16-rounded
+        but the accumulator is FP32. Overflow is then only possible in the
+        product itself or if the final FP32 sum leaves FP16 range when
+        converted back for the next tensor-core consumer.
+
+    Notes
+    -----
+    The emulation loops over the reduction dimension but is vectorized over
+    all output entries, so an ``(s, d) @ (d, s)`` product costs ``d`` NumPy
+    ops — fine at the scales the overflow experiments use.
+    """
+    if accumulate not in ("fp16", "fp32", "bf16"):
+        raise ValueError(f"unknown accumulate mode: {accumulate!r}")
+    if accumulate == "bf16":
+        return _bf16_matmul(a, b)
+    a16 = to_fp16(a)
+    b16 = to_fp16(b)
+    if a16.ndim != 2 or b16.ndim != 2:
+        raise ValueError("fp16_matmul expects 2-D operands")
+    if a16.shape[1] != b16.shape[0]:
+        raise ValueError(f"shape mismatch: {a16.shape} @ {b16.shape}")
+
+    m, k = a16.shape
+    n = b16.shape[1]
+    overflow = np.zeros((m, n), dtype=bool)
+    # Input rounding to FP16 can itself overflow (|x| > 65504 -> inf).
+    overflow |= np.isinf(a16).any(axis=1)[:, None]
+    overflow |= np.isinf(b16).any(axis=0)[None, :]
+
+    a32 = a16.astype(np.float32)
+    b32 = b16.astype(np.float32)
+    if accumulate == "fp32":
+        acc = a32 @ b32
+        # Products are formed in FP16 before the FP32 add on V100S tensor
+        # cores only conceptually — hardware forms them exactly; the only
+        # overflow risk is converting the FP32 result back to FP16.
+        overflow |= fp16_overflow_mask(acc)
+        return MatmulReport(result=acc, overflow_mask=overflow)
+
+    acc = np.zeros((m, n), dtype=np.float32)
+    for kk in range(k):
+        prod = to_fp16(a32[:, kk : kk + 1] * b32[kk : kk + 1, :])
+        overflow |= np.isinf(prod)
+        acc = to_fp16(acc + prod.astype(np.float32)).astype(np.float32)
+        overflow |= np.isinf(acc)
+    return MatmulReport(result=acc, overflow_mask=overflow)
+
+
+def _bf16_matmul(a: np.ndarray, b: np.ndarray) -> MatmulReport:
+    """BF16-accumulated product (A100/TPU mode, Section 2.2).
+
+    BF16 shares FP32's exponent range, so the Fig. 4 overflow problem
+    vanishes by construction — at the cost of an 8-bit mantissa, which the
+    precision-loss experiments quantify instead.
+    """
+    ab = to_bf16_rne(np.asarray(a, dtype=np.float32))
+    bb = to_bf16_rne(np.asarray(b, dtype=np.float32))
+    if ab.ndim != 2 or bb.ndim != 2:
+        raise ValueError("fp16_matmul expects 2-D operands")
+    if ab.shape[1] != bb.shape[0]:
+        raise ValueError(f"shape mismatch: {ab.shape} @ {bb.shape}")
+    m, k = ab.shape
+    n = bb.shape[1]
+    acc = np.zeros((m, n), dtype=np.float32)
+    for kk in range(k):
+        prod = to_bf16_rne(ab[:, kk : kk + 1] * bb[kk : kk + 1, :])
+        acc = to_bf16_rne(acc + prod)
+    overflow = ~np.isfinite(acc)
+    return MatmulReport(result=acc.astype(np.float32), overflow_mask=overflow)
+
+
+def attention_scores_overflow(
+    q: np.ndarray,
+    k: np.ndarray,
+    d_k: int,
+    scale_first: bool,
+    accumulate: str = "fp16",
+) -> MatmulReport:
+    """Compute one head's ``Q · Kᵀ`` scores in emulated FP16.
+
+    With ``scale_first=True`` the paper's reordering is applied: ``Q`` is
+    multiplied by ``1/√d_k`` *before* the product (step ② moved ahead of
+    step ③), which keeps partial sums inside FP16 range. With ``False`` the
+    conventional post-scaling is used and the raw product is what the tensor
+    core must represent — Fig. 4's overflow regime.
+    """
+    scale = 1.0 / np.sqrt(float(d_k))
+    if scale_first:
+        return fp16_matmul(np.asarray(q) * scale, np.asarray(k).T, accumulate)
+    report = fp16_matmul(q, np.asarray(k).T, accumulate)
+    scaled = report.result * scale
+    if accumulate == "fp32":
+        # Mixed precision: the FP32 accumulator survives the big raw sums;
+        # the only FP16 exposure is converting the *scaled* scores back for
+        # the next tensor-core consumer (Section 3.3's conversion overhead).
+        overflow = fp16_overflow_mask(scaled)
+    else:
+        overflow = report.overflow_mask
+    return MatmulReport(result=scaled, overflow_mask=overflow)

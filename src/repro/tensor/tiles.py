@@ -1,0 +1,90 @@
+"""Tensor-tile partitioning helpers.
+
+The tensor-tile pruning algorithm (Section 4.2) divides a weight matrix
+``W ∈ R^{m×n}`` into a ``p × q`` grid of ``r × c`` tiles (``p = m/r``,
+``q = n/c``), computes per-tile group norms, and keeps or drops whole tiles.
+Tiles are the tensor core's native granularity (16×16 FMA in Fig. 2), which is
+what makes the pruned matrix "tensor core friendly".
+
+Everything here is implemented with reshape/transpose *views* so no data is
+copied until a caller materializes a result (per the HPC guide: views, not
+copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The tensor-core FMA tile edge on V100S (Fig. 2(a)).
+TENSOR_TILE = 16
+
+
+def check_tileable(shape: tuple[int, int], tile: tuple[int, int]) -> None:
+    """Raise ValueError unless ``shape`` divides evenly into ``tile`` blocks."""
+    m, n = shape
+    r, c = tile
+    if r <= 0 or c <= 0:
+        raise ValueError(f"tile dims must be positive, got {tile}")
+    if m % r or n % c:
+        raise ValueError(f"matrix {shape} is not divisible into {tile} tiles")
+
+
+def tile_grid_shape(shape: tuple[int, int], tile: tuple[int, int]) -> tuple[int, int]:
+    """Return the ``(p, q)`` tile-grid shape for a matrix of ``shape``."""
+    check_tileable(shape, tile)
+    return shape[0] // tile[0], shape[1] // tile[1]
+
+
+def tile_view(w: np.ndarray, tile: tuple[int, int]) -> np.ndarray:
+    """Reshape ``w`` (m, n) to a (p, q, r, c) tile array.
+
+    The result is a view when ``w`` is C-contiguous (the transpose makes it a
+    non-contiguous view; no copy happens until the caller forces one).
+    """
+    m, n = w.shape
+    r, c = tile
+    check_tileable((m, n), tile)
+    return w.reshape(m // r, r, n // c, c).transpose(0, 2, 1, 3)
+
+
+def untile_view(tiles: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`tile_view`: (p, q, r, c) back to (p*r, q*c)."""
+    p, q, r, c = tiles.shape
+    return tiles.transpose(0, 2, 1, 3).reshape(p * r, q * c)
+
+
+def tile_norms(w: np.ndarray, tile: tuple[int, int]) -> np.ndarray:
+    """Per-tile l2 (group lasso) norms: a (p, q) array of ``‖W_ij‖₂``."""
+    t = tile_view(np.asarray(w, dtype=np.float64), tile)
+    return np.sqrt((t**2).sum(axis=(2, 3)))
+
+
+def expand_tile_mask(tile_mask: np.ndarray, tile: tuple[int, int]) -> np.ndarray:
+    """Expand a (p, q) boolean tile mask to an element-level (m, n) mask.
+
+    This is step ③ of Fig. 6: the 0/1 pruning-mask matrix applied
+    element-wise to the weights.
+    """
+    r, c = tile
+    mask = np.asarray(tile_mask, dtype=bool)
+    return np.repeat(np.repeat(mask, r, axis=0), c, axis=1)
+
+
+def tiles_kept(tile_mask: np.ndarray) -> int:
+    """Number of surviving (non-zero) tiles in a (p, q) mask."""
+    return int(np.asarray(tile_mask, dtype=bool).sum())
+
+
+def pad_to_tiles(w: np.ndarray, tile: tuple[int, int]) -> tuple[np.ndarray, tuple[int, int]]:
+    """Zero-pad ``w`` up to the next tile multiple; returns (padded, orig_shape).
+
+    Only the adaptive benchmarks need this (d_model = 800 with 16×16 tiles
+    divides evenly; odd sweep shapes may not).
+    """
+    m, n = w.shape
+    r, c = tile
+    pm = (-m) % r
+    pn = (-n) % c
+    if pm == 0 and pn == 0:
+        return w, (m, n)
+    return np.pad(w, ((0, pm), (0, pn))), (m, n)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, small_config
+from repro.gpu import Timeline
+from repro.ops.context import ExecContext, fp16_ctx, fp32_ctx
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tl() -> Timeline:
+    return Timeline()
+
+
+@pytest.fixture
+def ctx(tl: Timeline) -> ExecContext:
+    return fp16_ctx(tl)
+
+
+@pytest.fixture
+def ctx32(tl: Timeline) -> ExecContext:
+    return fp32_ctx(tl)
+
+
+@pytest.fixture
+def tiny_config() -> ModelConfig:
+    return small_config(
+        name="tiny", num_layers=2, d_model=32, num_heads=4,
+        vocab_size=128, max_seq_len=32,
+    )

@@ -1,0 +1,108 @@
+"""Accuracy-experiment harness internals (Table 1 / Fig. 14 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.accuracy_exp import (
+    FULL_CONFIGS,
+    TABLE1_RATIOS,
+    TASK_ORDER,
+    TINY,
+    Scale,
+    _full_model_latency_ms,
+    _small_cfg,
+    fig13_masks,
+)
+from repro.pruning import PruneMethod
+
+
+class TestTable1Ratios:
+    def test_paper_task_order(self):
+        assert TASK_ORDER == ["MNLI", "QQP", "QNLI", "SST-2", "STS-B",
+                              "MRPC", "WNLI"]
+
+    @pytest.mark.parametrize("model", ["BERT_BASE", "DistilBERT"])
+    def test_seven_ratios_per_method(self, model):
+        for method, ratios in TABLE1_RATIOS[model].items():
+            assert len(ratios) == 7, method
+            assert all(0.0 < r <= 0.9 for r in ratios)
+
+    def test_wnli_always_90(self):
+        """Table 1: every method prunes WNLI at 90% with no accuracy loss."""
+        for model in TABLE1_RATIOS:
+            for ratios in TABLE1_RATIOS[model].values():
+                assert ratios[TASK_ORDER.index("WNLI")] == 0.9
+
+    def test_paper_average_ratios(self):
+        """The AVG column of Table 1 (spot-check the transcription)."""
+        bert = TABLE1_RATIOS["BERT_BASE"]
+        assert np.mean(bert[PruneMethod.IRREGULAR]) == pytest.approx(0.743,
+                                                                     abs=1e-3)
+        assert np.mean(bert[PruneMethod.ATTENTION_AWARE]) == pytest.approx(
+            0.514, abs=1e-3)
+        distil = TABLE1_RATIOS["DistilBERT"]
+        assert np.mean(distil[PruneMethod.TILE]) == pytest.approx(0.471,
+                                                                  abs=1e-3)
+
+    def test_attention_aware_ratio_geq_tile(self):
+        """Section 5.3: attention-aware achieves pruning ratios >= tile's."""
+        for model in TABLE1_RATIOS:
+            aa = TABLE1_RATIOS[model][PruneMethod.ATTENTION_AWARE]
+            tile = TABLE1_RATIOS[model][PruneMethod.TILE]
+            assert all(a >= t - 1e-9 for a, t in zip(aa, tile))
+
+
+class TestScale:
+    def test_small_cfg_layer_ratio(self):
+        """BERT-sim : DistilBERT-sim layer ratio mirrors 12 : 6."""
+        sc = Scale()
+        bert = _small_cfg("BERT_BASE", sc)
+        distil = _small_cfg("DistilBERT", sc)
+        assert bert.num_layers == 2 * distil.num_layers
+
+    def test_tiny_cheaper_than_default(self):
+        assert TINY.n_train < Scale().n_train
+        assert TINY.epochs_finetune < Scale().epochs_finetune
+
+    def test_full_configs_are_paper_scale(self):
+        assert FULL_CONFIGS["BERT_BASE"].num_layers == 12
+        assert FULL_CONFIGS["DistilBERT"].num_layers == 6
+
+
+class TestFullModelLatency:
+    def test_dense_latency_positive(self):
+        ms = _full_model_latency_ms("DistilBERT", PruneMethod.NONE, 0.0)
+        assert 0.3 < ms < 3.0
+
+    def test_bert_twice_distilbert(self):
+        b = _full_model_latency_ms("BERT_BASE", PruneMethod.NONE, 0.0)
+        d = _full_model_latency_ms("DistilBERT", PruneMethod.NONE, 0.0)
+        assert b / d == pytest.approx(2.0, abs=0.1)
+
+    def test_attention_aware_faster_than_dense(self):
+        dense = _full_model_latency_ms("DistilBERT", PruneMethod.NONE, 0.0)
+        aa = _full_model_latency_ms("DistilBERT",
+                                    PruneMethod.ATTENTION_AWARE, 0.9)
+        assert aa < dense
+
+    def test_irregular_order_of_magnitude(self):
+        """Table 1: irregular DistilBERT ~16-44 ms depending on ratio."""
+        ms = _full_model_latency_ms("DistilBERT", PruneMethod.IRREGULAR, 0.8)
+        assert 8.0 < ms < 45.0
+
+
+class TestFig13Masks:
+    def test_paper_shape(self):
+        res = fig13_masks()
+        for m in res.masks.values():
+            assert m.shape == (2400, 800)  # the in_proj_weight shape
+
+    def test_requested_ratio(self):
+        res = fig13_masks(d_model=128, ratio=0.75)
+        for name, m in res.masks.items():
+            assert 1.0 - m.mean() == pytest.approx(0.75, abs=0.05), name
+
+    def test_unknown_method_in_ascii(self):
+        res = fig13_masks(d_model=64)
+        with pytest.raises(KeyError):
+            res.ascii_art("nonexistent")

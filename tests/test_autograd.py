@@ -1,0 +1,285 @@
+"""Autograd: every primitive's VJP is checked against numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor, no_grad
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt a flat copy of x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f(x)
+        x[idx] = orig - eps
+        fm = f(x)
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(op, shape, rng, n_inputs=1, atol=1e-5, make_positive=False):
+    """Generic gradcheck: scalarize with a fixed random projection."""
+    datas = [rng.standard_normal(shape) for _ in range(n_inputs)]
+    if make_positive:
+        datas = [np.abs(d) + 0.5 for d in datas]
+    proj = None
+
+    def run(*arrays):
+        nonlocal proj
+        ts = [Tensor(a, requires_grad=True) for a in arrays]
+        out = op(*ts)
+        if proj is None:
+            proj = np.random.default_rng(0).standard_normal(out.shape)
+        loss = (out * Tensor(proj)).sum()
+        return ts, loss
+
+    ts, loss = run(*datas)
+    loss.backward()
+    for i in range(n_inputs):
+        def f(x, i=i):
+            arrays = list(datas)
+            arrays[i] = x
+            _, l2 = run(*arrays)
+            return float(l2.data)
+
+        num = numerical_grad(f, datas[i].copy())
+        np.testing.assert_allclose(ts[i].grad, num, atol=atol,
+                                   err_msg=f"input {i} of {op}")
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        check_grad(lambda a, b: a + b, (3, 4), rng, 2)
+
+    def test_add_broadcast(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul(self, rng):
+        check_grad(lambda a, b: a * b, (2, 5), rng, 2)
+
+    def test_sub_and_neg(self, rng):
+        check_grad(lambda a, b: a - b, (4,), rng, 2)
+
+    def test_div(self, rng):
+        check_grad(lambda a, b: a / b, (3, 3), rng, 2, make_positive=True)
+
+    def test_pow(self, rng):
+        check_grad(lambda a: a**3, (4,), rng)
+
+    def test_pow_scalar_only(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2), requires_grad=True) ** np.ones(2)
+
+    def test_rsub_radd_rmul(self, rng):
+        a = Tensor(rng.standard_normal(3), requires_grad=True)
+        ((2.0 - a) + (3.0 + a) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 1.0))
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        check_grad(lambda a, b: a @ b,
+                   (4, 4), rng, 2)
+
+    def test_batched(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+
+        def f_a(x):
+            return float((x @ b).sum())
+
+        np.testing.assert_allclose(ta.grad, numerical_grad(f_a, a.copy()),
+                                   atol=1e-5)
+
+    def test_broadcast_matmul(self, rng):
+        # (B, H, s, d) @ (H, d, d) style broadcasting used by the
+        # precomputed-attention module.
+        a = rng.standard_normal((2, 3, 4, 5))
+        b = rng.standard_normal((3, 5, 5))
+        ta, tb = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+
+        def f_b(x):
+            return float((a @ x).sum())
+
+        np.testing.assert_allclose(tb.grad, numerical_grad(f_b, b.copy()),
+                                   atol=1e-5)
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        check_grad(lambda a: a.reshape(2, 6), (3, 4), rng)
+
+    def test_transpose(self, rng):
+        check_grad(lambda a: a.transpose(1, 0), (3, 4), rng)
+
+    def test_transpose_nd(self, rng):
+        check_grad(lambda a: a.transpose(0, 2, 1, 3), (2, 3, 4, 2), rng)
+
+    def test_getitem(self, rng):
+        check_grad(lambda a: a[1:3], (5, 4), rng)
+
+    def test_concat(self, rng):
+        check_grad(lambda a, b: ag.concat([a, b], axis=1), (3, 4), rng, 2)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_grad(lambda a: a.sum(), (3, 4), rng)
+
+    def test_sum_axis(self, rng):
+        check_grad(lambda a: a.sum(axis=1), (3, 4), rng)
+
+    def test_sum_keepdims(self, rng):
+        check_grad(lambda a: a.sum(axis=0, keepdims=True), (3, 4), rng)
+
+    def test_mean(self, rng):
+        check_grad(lambda a: a.mean(axis=1), (3, 4), rng)
+
+
+class TestNonlinearities:
+    def test_relu(self, rng):
+        check_grad(lambda a: a.relu(), (4, 4), rng)
+
+    def test_tanh(self, rng):
+        check_grad(lambda a: a.tanh(), (3, 3), rng)
+
+    def test_exp(self, rng):
+        check_grad(lambda a: a.exp(), (3, 3), rng)
+
+    def test_log(self, rng):
+        check_grad(lambda a: a.log(), (3, 3), rng, make_positive=True)
+
+    def test_gelu(self, rng):
+        check_grad(lambda a: a.gelu(), (4, 4), rng)
+
+    def test_softmax(self, rng):
+        check_grad(lambda a: ag.softmax(a, axis=-1), (3, 6), rng)
+
+    def test_log_softmax(self, rng):
+        check_grad(lambda a: ag.log_softmax(a, axis=-1), (3, 6), rng)
+
+    def test_layer_norm(self, rng):
+        g = Tensor(rng.standard_normal(8), requires_grad=True)
+        b = Tensor(rng.standard_normal(8), requires_grad=True)
+        x_np = rng.standard_normal((4, 8))
+        x = Tensor(x_np, requires_grad=True)
+        proj = rng.standard_normal((4, 8))
+        (ag.layer_norm(x, g, b) * Tensor(proj)).sum().backward()
+
+        def f(xx):
+            mu = xx.mean(-1, keepdims=True)
+            var = xx.var(-1, keepdims=True)
+            return float((((xx - mu) / np.sqrt(var + 1e-5) * g.data + b.data)
+                          * proj).sum())
+
+        np.testing.assert_allclose(x.grad, numerical_grad(f, x_np.copy()),
+                                   atol=1e-5)
+
+
+class TestLosses:
+    def test_cross_entropy_grad(self, rng):
+        logits_np = rng.standard_normal((5, 4))
+        targets = rng.integers(0, 4, 5)
+        t = Tensor(logits_np, requires_grad=True)
+        ag.cross_entropy(t, targets).backward()
+
+        def f(x):
+            sm = x - x.max(-1, keepdims=True)
+            lsm = sm - np.log(np.exp(sm).sum(-1, keepdims=True))
+            return float(-lsm[np.arange(5), targets].mean())
+
+        np.testing.assert_allclose(t.grad, numerical_grad(f, logits_np.copy()),
+                                   atol=1e-5)
+
+    def test_cross_entropy_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            ag.cross_entropy(Tensor(rng.standard_normal((3, 4)),
+                                    requires_grad=True), np.zeros(5, int))
+
+    def test_mse(self, rng):
+        pred_np = rng.standard_normal(6)
+        target = rng.standard_normal(6)
+        t = Tensor(pred_np, requires_grad=True)
+        ag.mse_loss(t, target).backward()
+        np.testing.assert_allclose(t.grad, 2 * (pred_np - target) / 6,
+                                   atol=1e-10)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_scatter_grad(self, rng):
+        w = Tensor(rng.standard_normal((10, 4)), requires_grad=True)
+        ids = np.array([1, 1, 3])
+        ag.embedding(w, ids).sum().backward()
+        assert w.grad[1] == pytest.approx(np.full(4, 2.0))  # used twice
+        assert w.grad[3] == pytest.approx(np.full(4, 1.0))
+        assert np.all(w.grad[0] == 0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        out = ag.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = ag.dropout(x, 0.25, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            ag.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_on_reuse(self, rng):
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        (x * x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data + 1)
+
+    def test_backward_non_scalar_requires_seed(self, rng):
+        x = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (x * 2).backward()
+
+    def test_backward_without_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).sum().backward()
+
+    def test_no_grad_context(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_detach(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(2))
+
+    def test_diamond_graph(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        a = x * 2
+        b = x * 3
+        (a * b).sum().backward()
+        np.testing.assert_allclose(x.grad, 12 * x.data)

@@ -1,0 +1,69 @@
+"""Command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        p = build_parser()
+        args = p.parse_args(["fig7"])
+        assert args.experiment == "fig7"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_model_choices(self):
+        args = build_parser().parse_args(["fig8", "--model", "Transformer"])
+        assert args.model == "Transformer"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--model", "GPT3"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table1" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "TensorRT" in out and "speedup" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-scale" in out and "BF16" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "gld_transactions" in out
+
+    def test_fig13(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "attention_aware" in out
+
+    def test_fig8_transformer(self, capsys):
+        assert main(["fig8", "--model", "Transformer"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "tile" in out and "d=1024" in out
+
+    def test_fig12(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "OTF" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "sparsity" in out and "et" in out

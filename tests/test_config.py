@@ -1,0 +1,69 @@
+"""Model configuration tests."""
+
+import pytest
+
+from repro.config import (
+    BERT_BASE,
+    BERT_LARGE,
+    DISTILBERT,
+    TRANSFORMER_WT2,
+    ModelConfig,
+    small_config,
+)
+
+
+class TestPresets:
+    def test_bert_base_shapes_match_paper(self):
+        assert BERT_BASE.num_layers == 12
+        assert BERT_BASE.d_model == 768
+        assert BERT_BASE.num_heads == 12
+        assert BERT_BASE.d_ff == 3072
+
+    def test_distilbert_is_half_depth_bert(self):
+        assert DISTILBERT.num_layers == 6
+        assert DISTILBERT.d_model == BERT_BASE.d_model
+        assert DISTILBERT.num_heads == BERT_BASE.num_heads
+
+    def test_transformer_wt2_shapes_match_paper(self):
+        # Section 5.1: L=2, d_model=800, H=4 (in_proj is 2400x800, Fig. 13).
+        assert TRANSFORMER_WT2.num_layers == 2
+        assert TRANSFORMER_WT2.d_model == 800
+        assert TRANSFORMER_WT2.num_heads == 4
+
+    def test_bert_large_for_smem_budget_discussion(self):
+        assert BERT_LARGE.d_model == 1024
+        assert BERT_LARGE.num_heads == 16
+
+    def test_d_head(self):
+        assert BERT_BASE.d_head == 64
+        assert TRANSFORMER_WT2.d_head == 200
+
+
+class TestValidation:
+    def test_heads_must_divide_d_model(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig("bad", 1, 100, 3, 400)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 64, 4, 256)
+
+    def test_with_heads_changes_only_heads(self):
+        cfg = BERT_BASE.with_heads(4)
+        assert cfg.num_heads == 4
+        assert cfg.d_model == BERT_BASE.d_model
+
+    def test_scaled_keeps_4x_ffn(self):
+        cfg = DISTILBERT.scaled(1024, num_heads=16)
+        assert cfg.d_model == 1024
+        assert cfg.d_ff == 4096
+        assert cfg.num_heads == 16
+
+    def test_small_config_defaults(self):
+        cfg = small_config()
+        assert cfg.d_ff == 4 * cfg.d_model
+        assert cfg.d_model % cfg.num_heads == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BERT_BASE.d_model = 512  # type: ignore[misc]

@@ -1,0 +1,164 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GLUE_TASKS,
+    SyntheticWikiText,
+    batchify,
+    make_task,
+)
+
+
+class TestWikiText:
+    def test_deterministic(self):
+        a = SyntheticWikiText(seed=7).generate(500)
+        b = SyntheticWikiText(seed=7).generate(500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_vocab_range(self):
+        s = SyntheticWikiText(vocab_size=100).generate(2000)
+        assert s.min() >= 0 and s.max() < 100
+
+    def test_learnable_structure(self):
+        """Bigram statistics must beat the unigram baseline substantially."""
+        corpus = SyntheticWikiText(vocab_size=64, noise=0.2, seed=1)
+        s = corpus.generate(30000)
+        # empirical bigram argmax predictor
+        counts = np.zeros((64, 64))
+        np.add.at(counts, (s[:-1], s[1:]), 1)
+        pred = counts.argmax(axis=1)
+        bigram_acc = (pred[s[:-1]] == s[1:]).mean()
+        unigram_acc = (np.bincount(s).argmax() == s[1:]).mean()
+        assert bigram_acc > unigram_acc + 0.2
+        assert corpus.bigram_ceiling() > unigram_acc
+
+    def test_splits_disjoint_seeds(self):
+        tr, va = SyntheticWikiText(seed=3).splits(1000, 500)
+        assert len(tr) == 1000 and len(va) == 500
+        assert not np.array_equal(tr[:500], va)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWikiText(vocab_size=1)
+        with pytest.raises(ValueError):
+            SyntheticWikiText(noise=1.5)
+        with pytest.raises(ValueError):
+            SyntheticWikiText().generate(0)
+
+    def test_batchify_shapes(self):
+        s = np.arange(1000)
+        batches = batchify(s, batch_size=4, seq_len=10)
+        assert all(b.shape == (4, 11) for b in batches)
+        assert len(batches) == 1000 // 44
+
+    def test_batchify_preserves_order_within_batch(self):
+        s = np.arange(88)
+        b = batchify(s, 4, 10)[0]
+        np.testing.assert_array_equal(b[0], np.arange(11))
+
+    def test_batchify_validation(self):
+        with pytest.raises(ValueError):
+            batchify(np.arange(10), 0, 5)
+
+
+class TestGlue:
+    def test_task_catalog(self):
+        assert set(GLUE_TASKS) == {"MNLI", "QQP", "QNLI", "SST-2", "STS-B",
+                                   "MRPC", "WNLI"}
+        assert GLUE_TASKS["QQP"].metric == "f1"
+        assert GLUE_TASKS["MRPC"].metric == "f1"
+        assert GLUE_TASKS["STS-B"].metric == "spearman"
+        assert GLUE_TASKS["MNLI"].num_classes == 3
+
+    def test_deterministic(self):
+        a = make_task("SST-2", seed=5)
+        b = make_task("SST-2", seed=5)
+        np.testing.assert_array_equal(a.train_tokens, b.train_tokens)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_shapes(self):
+        td = make_task("QNLI", n_train=100, n_dev=40, seq_len=16)
+        assert td.train_tokens.shape == (100, 16)
+        assert td.dev_labels.shape == (40,)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError, match="unknown"):
+            make_task("COLA")
+
+    def test_labels_in_range(self):
+        td = make_task("MNLI", n_train=200)
+        assert set(np.unique(td.train_labels)) <= {0, 1, 2}
+
+    def test_stsb_regression_range(self):
+        td = make_task("STS-B", n_train=200)
+        assert td.train_labels.dtype == np.float64
+        assert td.train_labels.min() >= 0.0
+        assert td.train_labels.max() <= 5.0
+
+    def test_wnli_majority_is_563(self):
+        """The paper's WNLI quirk: unlearnable, 56.3% majority class."""
+        td = make_task("WNLI", n_train=4000, n_dev=4000, seed=1)
+        maj = max(np.bincount(td.dev_labels)) / td.dev_labels.size
+        assert maj == pytest.approx(0.563, abs=0.03)
+
+    def test_wnli_tokens_carry_no_signal(self):
+        """Token statistics must be independent of WNLI labels."""
+        td = make_task("WNLI", n_train=2000, seed=2)
+        means = [td.train_tokens[td.train_labels == c].mean() for c in (0, 1)]
+        assert abs(means[0] - means[1]) < 2.0
+
+    def test_learnable_tasks_have_keyword_signal(self):
+        td = make_task("SST-2", n_train=500, seed=3)
+        # class keywords live in the reserved low-vocabulary block
+        kw0 = (td.train_tokens[td.train_labels == 0] < 3).mean()
+        kw1 = (td.train_tokens[td.train_labels == 1] < 3).mean()
+        assert kw0 > kw1 + 0.05  # class-0 rows carry class-0 keywords
+
+    def test_vocab_too_small(self):
+        with pytest.raises(ValueError, match="vocab"):
+            make_task("SST-2", vocab_size=10)
+
+
+class TestSecondOrderCorpus:
+    def test_order_validation(self):
+        with pytest.raises(ValueError, match="order"):
+            SyntheticWikiText(order=3)
+
+    def test_order2_deterministic(self):
+        a = SyntheticWikiText(order=2, vocab_size=32, seed=4).generate(300)
+        b = SyntheticWikiText(order=2, vocab_size=32, seed=4).generate(300)
+        np.testing.assert_array_equal(a, b)
+
+    def test_order2_needs_pair_context(self):
+        """A bigram table cannot predict an order-2 stream; the true pair
+        context can — the property that makes the encoder (and therefore
+        encoder pruning) matter in Fig. 14."""
+        corpus = SyntheticWikiText(vocab_size=32, branching=3, noise=0.1,
+                                   order=2, seed=1)
+        s = corpus.generate(40000)
+        counts = np.zeros((32, 32))
+        np.add.at(counts, (s[:-1], s[1:]), 1)
+        bigram_acc = (counts.argmax(1)[s[:-1]] == s[1:]).mean()
+        pair = {}
+        for a, b, c in zip(s[:-2], s[1:-1], s[2:]):
+            pair.setdefault((a, b), {}).setdefault(c, 0)
+            pair[(a, b)][c] += 1
+        hits = sum(max(d, key=d.get) == c
+                   for (a, b), c, d in
+                   ((key, c, pair[key]) for key, c in
+                    zip(zip(s[:-2], s[1:-1]), s[2:])))
+        trigram_acc = hits / (len(s) - 2)
+        assert trigram_acc > bigram_acc + 0.2
+
+    def test_mixture_fraction_validated(self):
+        with pytest.raises(ValueError, match="order2_fraction"):
+            SyntheticWikiText(order=2, order2_fraction=1.5)
+
+    def test_mixture_ceiling_between_pure_orders(self):
+        kw = dict(vocab_size=32, branching=3, noise=0.1, seed=1)
+        c1 = SyntheticWikiText(order=1, **kw)
+        cm = SyntheticWikiText(order=2, order2_fraction=0.5, **kw)
+        c2 = SyntheticWikiText(order=2, order2_fraction=1.0, **kw)
+        assert c2.bigram_ceiling() < cm.bigram_ceiling() < c1.bigram_ceiling()

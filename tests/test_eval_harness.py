@@ -1,0 +1,184 @@
+"""Figure/table harnesses reproduce the paper's claims (latency side)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.latency import (
+    fig01_breakdown,
+    fig07_encoder_latency,
+    fig08_attention,
+    fig09_precompute,
+    fig10_pruned_gemm,
+    fig11_profiling,
+    fig12_throughput,
+    scaling_reorder_ablation,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig01_breakdown()
+
+    def test_speedup_near_2_5x(self, res):
+        """Fig. 1: 'E.T. can reduce the computation time of a single encoder
+        by 2.5x' (80% pruning, WikiText-2 Transformer)."""
+        assert 1.8 <= res.speedup <= 3.2
+
+    def test_breakdowns_sum_to_totals(self, res):
+        assert sum(res.trt_breakdown.values()) == pytest.approx(
+            res.trt_total_us)
+        assert sum(res.et_breakdown.values()) == pytest.approx(
+            res.et_total_us)
+
+    def test_attention_share_shrinks(self, res):
+        trt_attn = sum(v for k, v in res.trt_breakdown.items()
+                       if "step" in k and k != "step1_qkv")
+        et_attn = res.et_breakdown.get("attention", 0.0)
+        assert et_attn < trt_attn
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig07_encoder_latency(sparsities=(0.0, 0.5, 0.8, 0.95))
+
+    def test_baselines_flat(self, res):
+        for name in ("pytorch", "tensorrt", "fastertransformer"):
+            series = res.latency_us[name]
+            assert max(series) == min(series)
+
+    def test_et_monotone_beyond_threshold(self, res):
+        et = res.latency_us["et"]
+        assert et[1] > et[2] > et[3]
+
+    def test_paper_max_speedups(self, res):
+        assert 10 <= res.max_speedup_over("pytorch") <= 18  # paper 13.7
+        assert 2.5 <= res.max_speedup_over("tensorrt") <= 4.5  # paper 3.4
+        assert 1.8 <= res.max_speedup_over("fastertransformer") <= 3.5  # 2.5
+
+    def test_et_beats_everything_everywhere(self, res):
+        et = res.latency_us["et"]
+        for name in ("pytorch", "tensorrt", "fastertransformer"):
+            assert all(e <= b for e, b in zip(et, res.latency_us[name]))
+
+
+class TestFig8:
+    @pytest.fixture(scope="class", params=["BERT_BASE", "Transformer"])
+    def res(self, request):
+        return fig08_attention(model=request.param)
+
+    def test_et_best_across_all_cases(self, res):
+        assert all(s > 1.0 for s in res.speedup_over_trt())
+
+    def test_crossover_in_paper_range(self, res):
+        assert res.crossover is not None
+        assert 192 <= res.crossover <= 272  # paper: 224
+
+    def test_full_otf_wins_short_sequences(self, res):
+        i64 = res.seq_lens.index(64)
+        assert res.otf_us[i64] < res.partial_otf_us[i64]
+
+    def test_partial_wins_past_crossover(self, res):
+        i = res.seq_lens.index(320)
+        assert res.partial_otf_us[i] < res.otf_us[i]
+
+    def test_average_speedup_magnitude(self, res):
+        """Paper: avg 2.5x (Transformer) / 3.3x (BERT) over 64..256."""
+        sel = [s for ln, s in zip(res.seq_lens, res.speedup_over_trt())
+               if ln <= 256]
+        assert 2.0 <= float(np.mean(sel)) <= 4.0
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig09_precompute(d_models=(768, 1024, 2048), heads=(2, 4, 8))
+
+    def test_precompute_always_helps(self, res):
+        for d in res.d_models:
+            assert all(s > 1.0 for s in res.speedup[d])
+
+    def test_larger_models_benefit_more(self, res):
+        """Paper: 1.1x / 1.3x / 1.6x for d_model = 768 / 1024 / 2048."""
+        means = [res.mean_speedup(d) for d in (768, 1024, 2048)]
+        assert means[0] < means[2]
+        assert 1.02 <= means[0] <= 1.35
+        assert 1.1 <= means[2] <= 1.9
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def res768(self):
+        return fig10_pruned_gemm(d_model=768)
+
+    def test_tile_speedup_at_95(self, res768):
+        """Paper: 3.5x at d=768, 95% sparsity."""
+        assert 2.5 <= res768.speedup("tile")[-1] <= 4.5
+
+    def test_tile_beats_column_at_equal_sparsity(self, res768):
+        for t, c in zip(res768.speedup("tile"), res768.speedup("column")):
+            assert t > c
+
+    def test_column_beats_row(self, res768):
+        for c, r in zip(res768.speedup("column"), res768.speedup("row")):
+            assert c > r
+
+    def test_speedups_monotone_in_sparsity(self, res768):
+        for m in ("tile", "column"):
+            s = res768.speedup(m)
+            assert all(a <= b + 0.05 for a, b in zip(s, s[1:]))
+
+    def test_d1024_tile_speedup(self):
+        res = fig10_pruned_gemm(d_model=1024, sparsities=(0.95,))
+        assert 2.2 <= res.speedup("tile")[0] <= 4.2  # paper 3.2
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig11_profiling()
+
+    def test_load_ratio(self, res):
+        """Paper: OTF loads ~1.8x more."""
+        assert 1.5 <= res.load_ratio <= 2.6
+
+    def test_store_saving(self, res):
+        """Paper: ~5x fewer stores."""
+        assert 4.0 <= res.store_saving <= 6.0
+
+    def test_sm_efficiency_boost(self, res):
+        """Paper: ~30% sm_efficiency boost."""
+        assert 0.15 <= res.sm_efficiency_boost <= 0.60
+
+    def test_ipc_boost(self, res):
+        """Paper: ~22% IPC boost."""
+        assert 0.05 <= res.ipc_boost <= 0.45
+
+    def test_otf_net_faster_despite_extra_loads(self, res):
+        assert res.otf["total_time_us"] < res.trt["total_time_us"]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig12_throughput()
+
+    def test_trt_average_near_98(self, res):
+        assert 70 <= res.trt_avg_gbs <= 140
+
+    def test_otf_near_311(self, res):
+        assert 250 <= res.otf_gbs <= 430
+
+    def test_otf_multiple_of_trt(self, res):
+        """Paper: 311/98 ~ 3.2x higher achieved throughput."""
+        assert res.otf_gbs / res.trt_avg_gbs > 2.5
+
+    def test_steps_enumerated(self, res):
+        assert len(res.trt_steps) >= 5
+
+
+class TestScalingReorderAblation:
+    def test_pure_fp16_faster(self):
+        res = scaling_reorder_ablation()
+        assert res.speedup > 1.1  # mixed precision pays smem + conversions

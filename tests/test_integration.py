@@ -1,0 +1,138 @@
+"""End-to-end integration: train → prune → retrain → deploy on E.T."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_config
+from repro.data import SyntheticWikiText, batchify, make_task
+from repro.eval.accuracy_exp import (
+    TINY,
+    fig13_masks,
+    finetune_dense,
+    prune_finetuned,
+    _score,
+)
+from repro.nn import TrainConfig, Trainer, TransformerLM
+from repro.pruning import PruneMethod, ReweightedGroupLasso, prune_model
+from repro.runtime import EncoderWeights, ETEngine, TensorRTLikeEngine
+
+
+@pytest.fixture(scope="module")
+def lm_setup():
+    cfg = small_config(name="int", num_layers=2, d_model=32, num_heads=4,
+                       vocab_size=96, max_seq_len=32)
+    corpus = SyntheticWikiText(vocab_size=96, branching=3, noise=0.15, seed=3)
+    train, val = corpus.splits(6000, 1500)
+    train_b = batchify(train, 8, 16)
+    val_b = batchify(val, 8, 16)
+    model = TransformerLM(cfg, np.random.default_rng(0))
+    Trainer(model, TrainConfig(epochs=8, lr=2e-3, seed=0)).fit_lm(train_b)
+    return cfg, model, train_b, val_b
+
+
+def _acc(model, batches):
+    return float(np.mean([model.accuracy(b) for b in batches]))
+
+
+class TestLmPipeline:
+    def test_pretraining_beats_chance(self, lm_setup):
+        cfg, model, _, val_b = lm_setup
+        assert _acc(model, val_b) > 3.0 / cfg.vocab_size
+
+    def test_full_pipeline_preserves_accuracy(self, lm_setup):
+        """Reweighted training → tile prune 50% → masked retrain keeps most
+        of the dense accuracy (the Fig. 14 'small loss below 85%' claim)."""
+        cfg, baseline, train_b, val_b = lm_setup
+        dense_acc = _acc(baseline, val_b)
+
+        model = TransformerLM(cfg, np.random.default_rng(1))
+        model.load_state_dict(baseline.state_dict())
+        reg = ReweightedGroupLasso(lam=1e-4, tile=(8, 8))
+        Trainer(model, TrainConfig(epochs=2, lr=1e-3, seed=1),
+                regularizer=reg.penalty,
+                epoch_callback=reg.update_betas).fit_lm(train_b)
+        prune_model(model, PruneMethod.ATTENTION_AWARE, 0.5, tile=(8, 8))
+        Trainer(model, TrainConfig(epochs=3, lr=1e-3, seed=1)).fit_lm(train_b)
+
+        pruned_acc = _acc(model, val_b)
+        assert pruned_acc > 0.8 * dense_acc
+
+    def test_pruned_model_deploys_on_et_engine(self, lm_setup):
+        """The trained+pruned nn weights run on the engine and match the nn
+        forward; E.T.'s sparse path is faster than the TRT baseline."""
+        cfg, baseline, train_b, _ = lm_setup
+        model = TransformerLM(cfg, np.random.default_rng(2))
+        model.load_state_dict(baseline.state_dict())
+        summary = prune_model(model, PruneMethod.ATTENTION_AWARE, 0.6,
+                              tile=(8, 8))
+        Trainer(model, TrainConfig(epochs=1, lr=1e-3, seed=2)).fit_lm(train_b)
+
+        w = EncoderWeights.from_model(model)
+        roles_by_kind = {}
+        for name, role in summary.roles.items():
+            roles_by_kind[name.split(".")[-2]] = role
+        w.annotate_roles(roles_by_kind)
+
+        from repro.nn.autograd import Tensor
+
+        toks = np.random.default_rng(3).integers(0, cfg.vocab_size, (1, 16))
+        model.eval()
+        emb = model.embed(toks) + Tensor(model.pe[:16])
+        ref = model.encoder(emb).data[0]
+
+        et = ETEngine(w)
+        assert et.sparse_mode
+        res = et.run(emb.data[0])
+        np.testing.assert_allclose(res.output, ref, atol=1e-8)
+
+        trt = TensorRTLikeEngine(w).run(emb.data[0])
+        assert res.latency_us < trt.latency_us
+
+
+class TestGluePipeline:
+    def test_tiny_task_block(self):
+        """One Table-1 cell end to end at TINY scale."""
+        td = make_task("SST-2", vocab_size=TINY.vocab_size,
+                       seq_len=TINY.seq_len, n_train=TINY.n_train,
+                       n_dev=TINY.n_dev, seed=0)
+        base = finetune_dense(td, "DistilBERT", TINY, seed=0)
+        base_score = _score(base, td)
+        score, sp = prune_finetuned(base, td, PruneMethod.ATTENTION_AWARE,
+                                    0.5, TINY, seed=0)
+        assert 0.0 <= score <= 1.0
+        assert sp == pytest.approx(0.5, abs=0.1)
+        # baseline unchanged by the pruning run
+        assert _score(base, td) == base_score
+
+    def test_wnli_all_methods_collapse_to_majority(self):
+        """The 56.3-everywhere row of Table 1."""
+        td = make_task("WNLI", vocab_size=TINY.vocab_size,
+                       seq_len=TINY.seq_len, n_train=256, n_dev=512, seed=0)
+        base = finetune_dense(td, "DistilBERT", TINY, seed=0)
+        maj = max(np.bincount(td.dev_labels)) / td.dev_labels.size
+        assert _score(base, td) <= maj + 0.06
+        score, _ = prune_finetuned(base, td, PruneMethod.TILE, 0.9, TINY)
+        assert score <= maj + 0.06
+
+
+class TestFig13Masks:
+    def test_structures_differ(self):
+        res = fig13_masks(d_model=128, ratio=0.5, tile=(16, 16))
+        aa = res.masks["attention_aware"]
+        col = res.masks["column"]
+        irr = res.masks["irregular"]
+        d = 128
+        # column mask: entire columns zero in each sub-block
+        blk = col[:d]
+        assert all(c.all() or not c.any() for c in blk.astype(bool).T)
+        # attention-aware: W_V block (rows 2d..3d) is row-structured
+        wv = aa[2 * d:].astype(bool)
+        assert all(r.all() or not r.any() for r in wv)
+        # irregular is neither row- nor column-structured
+        assert not all(c.all() or not c.any()
+                       for c in irr[:d].astype(bool).T)
+
+    def test_ascii_render(self):
+        res = fig13_masks(d_model=64, ratio=0.5, tile=(16, 16))
+        art = res.ascii_art("tile", rows=12, cols=12)
+        assert len(art.splitlines()) == 12

@@ -1,0 +1,77 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import accuracy, f1_binary, glue_metric, spearman
+from repro.eval.format import render_series, render_table
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 1])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestF1:
+    def test_perfect(self):
+        y = np.array([1, 0, 1, 1])
+        assert f1_binary(y, y) == 1.0
+
+    def test_known_value(self):
+        pred = np.array([1, 1, 0, 0])
+        target = np.array([1, 0, 1, 0])
+        # tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 0.5
+        assert f1_binary(pred, target) == pytest.approx(0.5)
+
+    def test_no_positives(self):
+        assert f1_binary(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_all_negative_predictions_on_positive_truth(self):
+        assert f1_binary(np.zeros(4), np.ones(4)) == 0.0
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman(x**3, x) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert spearman(-x, x) == pytest.approx(-1.0)
+
+    def test_constant_degenerate(self):
+        assert spearman(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestDispatch:
+    def test_glue_metric(self):
+        p, t = np.array([1, 0]), np.array([1, 0])
+        assert glue_metric("accuracy", p, t) == 1.0
+        assert glue_metric("f1", p, t) == 1.0
+        assert glue_metric("spearman", np.array([1.0, 2.0, 3.0]),
+                           np.array([2.0, 4.0, 9.0])) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            glue_metric("bleu", p, t)
+
+
+class TestFormat:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out and "x" in out
+
+    def test_render_series(self):
+        out = render_series("lat", [64, 128], [1.0, 2.0], unit="us")
+        assert out == "lat: 64=1.00us 128=2.00us"

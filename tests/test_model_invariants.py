@@ -1,0 +1,83 @@
+"""Cross-cutting invariants: engine latency scaling, pruning idempotence."""
+
+import numpy as np
+import pytest
+
+from repro.config import BERT_BASE, small_config
+from repro.pruning import PruneMethod
+from repro.pruning.masks import irregular_mask, tile_mask
+from repro.runtime import (
+    EncoderWeights,
+    ETEngine,
+    TensorRTLikeEngine,
+)
+
+
+class TestLatencyScaling:
+    def test_latency_monotone_in_seq_len(self):
+        w = EncoderWeights.random(BERT_BASE, np.random.default_rng(0), 1)
+        eng = TensorRTLikeEngine(w)
+        times = [eng.latency_us(s) for s in (32, 64, 128, 256)]
+        assert times == sorted(times)
+
+    def test_latency_scales_with_layers(self):
+        cfg = small_config(name="ls", num_layers=1, d_model=64, num_heads=4)
+        rng = np.random.default_rng(0)
+        one = TensorRTLikeEngine(
+            EncoderWeights.random(cfg, rng, num_layers=1)).latency_us(32)
+        four = TensorRTLikeEngine(
+            EncoderWeights.random(cfg, rng, num_layers=4)).latency_us(32)
+        assert four == pytest.approx(4 * one, rel=0.05)
+
+    def test_wider_model_is_slower(self):
+        rng = np.random.default_rng(0)
+        narrow = EncoderWeights.random(BERT_BASE.scaled(768), rng, 1)
+        wide = EncoderWeights.random(BERT_BASE.scaled(1536, num_heads=12),
+                                     rng, 1)
+        assert TensorRTLikeEngine(wide).latency_us(64) > \
+            TensorRTLikeEngine(narrow).latency_us(64)
+
+    def test_engine_run_is_deterministic(self):
+        w = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+        x = np.random.default_rng(2).standard_normal((64, 768))
+        r1, r2 = ETEngine(w).run(x), ETEngine(w).run(x)
+        np.testing.assert_array_equal(r1.output, r2.output)
+        assert r1.latency_us == r2.latency_us
+
+
+class TestPruningInvariants:
+    def test_prune_is_idempotent_on_masks(self, rng):
+        """Pruning an already-pruned matrix at the same ratio keeps the same
+        surviving set (the survivors are by construction the largest)."""
+        w = rng.standard_normal((64, 64))
+        m1 = irregular_mask(w, 0.6)
+        m2 = irregular_mask(w * m1, 0.6)
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_tile_prune_idempotent(self, rng):
+        w = rng.standard_normal((64, 64))
+        m1 = tile_mask(w, 0.5, (16, 16))
+        m2 = tile_mask(w * m1, 0.5, (16, 16))
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_weights_prune_deeper_is_sparser(self):
+        rng = np.random.default_rng(0)
+        shallow = EncoderWeights.random(BERT_BASE, rng, 1).prune(
+            PruneMethod.TILE, 0.3)
+        deep = EncoderWeights.random(BERT_BASE, np.random.default_rng(0),
+                                     1).prune(PruneMethod.TILE, 0.8)
+        assert deep.overall_sparsity > shallow.overall_sparsity
+
+    def test_precompute_fold_commutes_with_row_pruning(self, rng):
+        """Folding then condensing == condensing W_O first then folding."""
+        from repro.attention import condense_folded, fold_vo
+        from repro.pruning.masks import row_mask
+
+        d, h = 32, 4
+        wv = rng.standard_normal((d, d))
+        wo = rng.standard_normal((d, d))
+        mask = row_mask(wo, 0.5)
+        kept = np.flatnonzero(mask[:, 0])
+        a = condense_folded(fold_vo(wv, wo * mask, h), kept)
+        b = condense_folded(fold_vo(wv, wo, h), kept)
+        np.testing.assert_allclose(a, b, atol=1e-12)

@@ -1,0 +1,369 @@
+"""Transformer modules, models, optimizers and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_config
+from repro.nn import (
+    AdamW,
+    Dropout,
+    Embedding,
+    Encoder,
+    EncoderClassifier,
+    EncoderLayer,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    PrecomputedSelfAttention,
+    SGD,
+    Tensor,
+    TrainConfig,
+    Trainer,
+    TransformerLM,
+    build_model,
+    clip_grad_norm,
+    positional_encoding,
+)
+from repro.nn import autograd as ag
+from repro.nn.models import causal_mask
+
+
+class TestParameter:
+    def test_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_mask_zeroes_weights(self, rng):
+        p = Parameter(rng.standard_normal((4, 4)))
+        mask = np.zeros((4, 4))
+        mask[0] = 1
+        p.set_mask(mask)
+        assert np.all(p.data[1:] == 0)
+        assert p.mask is mask or np.array_equal(p.mask, mask)
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            Parameter(np.zeros((2, 2))).set_mask(np.ones((3, 3)))
+
+
+class TestModuleMechanics:
+    def test_named_parameters_nested(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert "embed.weight" in names
+        assert "encoder.layers.0.attn.wq.weight" in names
+        assert "encoder.layers.1.ffn.fc1.bias" in names
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self, rng, tiny_config):
+        m1 = TransformerLM(tiny_config, rng)
+        m2 = TransformerLM(tiny_config, np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        toks = rng.integers(0, tiny_config.vocab_size, (2, 8))
+        np.testing.assert_allclose(m1(toks).data, m2(toks).data)
+
+    def test_state_dict_missing_key(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng)
+        sd = m.state_dict()
+        sd.pop("embed.weight")
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_state_dict_shape_mismatch(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng)
+        sd = m.state_dict()
+        sd["embed.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_train_eval_propagates(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng, dropout_p=0.5)
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_num_parameters(self, rng):
+        lin = Linear(8, 4, rng)
+        assert lin.num_parameters() == 8 * 4 + 4
+
+
+class TestLayers:
+    def test_linear(self, rng):
+        lin = Linear(6, 3, rng)
+        x = Tensor(rng.standard_normal((5, 6)))
+        y = lin(x)
+        np.testing.assert_allclose(
+            y.data, x.data @ lin.weight.data.T + lin.bias.data)
+
+    def test_linear_no_bias(self, rng):
+        lin = Linear(6, 3, rng, bias=False)
+        assert lin.bias is None
+
+    def test_embedding_bounds(self, rng):
+        emb = Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([[10]]))
+
+    def test_layernorm_normalizes(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 16)) * 7 + 2)
+        y = ln(x)
+        np.testing.assert_allclose(y.data.mean(-1), 0, atol=1e-9)
+
+    def test_dropout_module_respects_mode(self, rng):
+        d = Dropout(0.5, rng)
+        x = Tensor(np.ones((8, 8)))
+        d.training = False
+        assert d(x) is x
+
+    def test_positional_encoding_equations(self):
+        pe = positional_encoding(32, 16)
+        # Eq. 1-2: PE[pos, 2i] = sin(pos/10000^(2i/d))
+        for pos in (0, 5, 17):
+            for i in (0, 3, 7):
+                angle = pos / 10000 ** (2 * i / 16)
+                assert pe[pos, 2 * i] == pytest.approx(np.sin(angle))
+                assert pe[pos, 2 * i + 1] == pytest.approx(np.cos(angle))
+
+    def test_positional_encoding_bounded(self):
+        pe = positional_encoding(100, 32)
+        assert np.abs(pe).max() <= 1.0
+
+
+class TestAttentionModules:
+    def test_mhsa_matches_engine_semantics(self, rng):
+        from repro.attention import reference_attention, split_heads, merge_heads
+
+        attn = MultiHeadSelfAttention(16, 4, rng)
+        x_np = rng.standard_normal((1, 6, 16))
+        out = attn(Tensor(x_np)).data[0]
+
+        x = x_np[0]
+        q = split_heads(x @ attn.wq.weight.data.T + attn.wq.bias.data, 4)
+        k = split_heads(x @ attn.wk.weight.data.T + attn.wk.bias.data, 4)
+        v = split_heads(x @ attn.wv.weight.data.T + attn.wv.bias.data, 4)
+        z = merge_heads(reference_attention(q, k, v))
+        ref = z @ attn.wo.weight.data.T + attn.wo.bias.data
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_precomputed_equals_standard_when_folded(self, rng):
+        """§7: the folded module computes the same function when its M is
+        set to W_Vᵀ·W_Oᵀ of a standard module (with zero V/O biases)."""
+        from repro.attention import fold_vo
+
+        std = MultiHeadSelfAttention(16, 4, rng)
+        std.wv.bias.data[:] = 0
+        std.wo.bias.data[:] = 0
+        pre = PrecomputedSelfAttention(16, 4, rng)
+        pre.wq.load_state_dict = None  # not used; copy params directly
+        pre.wq.weight.data = std.wq.weight.data.copy()
+        pre.wq.bias.data = std.wq.bias.data.copy()
+        pre.wk.weight.data = std.wk.weight.data.copy()
+        pre.wk.bias.data = std.wk.bias.data.copy()
+        pre.m.data = fold_vo(std.wv.weight.data, std.wo.weight.data, 4)
+
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        np.testing.assert_allclose(pre(x).data, std(x).data, atol=1e-10)
+
+    def test_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, rng)
+        with pytest.raises(ValueError):
+            PrecomputedSelfAttention(10, 3, rng)
+
+    def test_causal_mask_in_module(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.standard_normal((1, 5, 8))
+        m = causal_mask(5)
+        full = attn(Tensor(x), m).data
+        # Changing a future token must not change earlier outputs.
+        x2 = x.copy()
+        x2[0, 4] += 10.0
+        full2 = attn(Tensor(x2), m).data
+        np.testing.assert_allclose(full[0, :4], full2[0, :4], atol=1e-10)
+
+
+class TestModels:
+    def test_lm_forward_shape(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (3, 10))
+        assert m(toks).shape == (3, 10, tiny_config.vocab_size)
+
+    def test_lm_seq_len_limit(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng)
+        with pytest.raises(ValueError, match="exceeds"):
+            m(rng.integers(0, 10, (1, tiny_config.max_seq_len + 1)))
+
+    def test_lm_causality(self, rng, tiny_config):
+        m = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (1, 8))
+        logits1 = m(toks).data
+        toks2 = toks.copy()
+        toks2[0, -1] = (toks2[0, -1] + 1) % tiny_config.vocab_size
+        logits2 = m(toks2).data
+        np.testing.assert_allclose(logits1[0, :-1], logits2[0, :-1], atol=1e-9)
+
+    def test_classifier_predict(self, rng, tiny_config):
+        m = EncoderClassifier(tiny_config, 3, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (5, 8))
+        pred = m.predict(toks)
+        assert pred.shape == (5,)
+        assert set(pred) <= {0, 1, 2}
+
+    def test_regression_predict(self, rng, tiny_config):
+        m = EncoderClassifier(tiny_config, 1, rng, regression=True)
+        pred = m.predict(rng.integers(0, 10, (4, 6)))
+        assert pred.shape == (4,) and pred.dtype == np.float64
+
+    def test_build_model_dispatch(self, rng, tiny_config):
+        assert isinstance(build_model(tiny_config, "lm", rng), TransformerLM)
+        clf = build_model(tiny_config, "classification", rng, num_outputs=3)
+        assert isinstance(clf, EncoderClassifier) and not clf.regression
+        reg = build_model(tiny_config, "regression", rng)
+        assert reg.regression
+        with pytest.raises(ValueError):
+            build_model(tiny_config, "segmentation", rng)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt_cls, **kw):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = opt_cls([p], lr=0.1, **kw)
+        for _ in range(200):
+            opt.zero_grad()
+            ((Tensor(p.data) * 0).sum()).data  # noop, grads set manually
+            p.grad = 2 * p.data  # d/dp of p^2
+            opt.step()
+        return p.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_descent(SGD)
+        assert np.abs(final).max() < 1e-4
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_descent(SGD, momentum=0.9)
+        assert np.abs(final).max() < 1e-3
+
+    def test_adamw_converges(self):
+        final = self._quadratic_descent(AdamW)
+        assert np.abs(final).max() < 1e-2
+
+    def test_adamw_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.01, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        for _ in range(10):
+            opt.step()
+        assert p.data[0] < 10.0
+
+    def test_masked_updates_stay_zero(self, rng):
+        p = Parameter(rng.standard_normal((4, 4)))
+        mask = (rng.random((4, 4)) > 0.5).astype(float)
+        p.set_mask(mask)
+        opt = AdamW([p], lr=0.1)
+        for _ in range(5):
+            p.grad = rng.standard_normal((4, 4))
+            opt.step()
+        assert np.all(p.data[mask == 0] == 0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            AdamW([], betas=(1.0, 0.9))
+
+    def test_clip_grad_norm(self, rng):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTrainer:
+    def test_lm_loss_decreases(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (8, 12))
+        res = Trainer(model, TrainConfig(epochs=5, lr=2e-3)).fit_lm([toks])
+        assert res.losses[-1] < res.losses[0]
+        assert res.final_loss == res.losses[-1]
+
+    def test_classifier_learns_separable_task(self, rng, tiny_config):
+        n = 64
+        labels = rng.integers(0, 2, n)
+        toks = rng.integers(4, tiny_config.vocab_size, (n, 8))
+        toks[:, 0] = labels  # token 0 reveals the class
+        model = EncoderClassifier(tiny_config, 2, rng)
+        Trainer(model, TrainConfig(epochs=12, lr=2e-3, batch_size=16)
+                ).fit_classifier(toks, labels)
+        acc = (model.predict(toks) == labels).mean()
+        assert acc > 0.9
+
+    def test_regularizer_hook_called(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (4, 8))
+        calls = []
+
+        def reg(m):
+            calls.append(1)
+            return Tensor(0.0)
+
+        Trainer(model, TrainConfig(epochs=2, lr=1e-3), regularizer=reg
+                ).fit_lm([toks])
+        assert len(calls) == 2
+
+    def test_epoch_callback_called(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (4, 8))
+        seen = []
+        Trainer(model, TrainConfig(epochs=3, lr=1e-3),
+                epoch_callback=lambda e, m: seen.append(e)).fit_lm([toks])
+        assert seen == [0, 1, 2]
+
+    def test_model_left_in_eval_mode(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (4, 8))
+        Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit_lm([toks])
+        assert not model.training
+
+
+class TestFailureInjection:
+    def test_trainer_rejects_empty_data(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        with pytest.raises(ValueError, match="no data"):
+            Trainer(model, TrainConfig(epochs=1, lr=1e-3, batch_size=64)
+                    ).fit_classifier(np.zeros((0, 8), dtype=int),
+                                     np.zeros(0, dtype=int))
+
+    def test_empty_batchify_detected(self):
+        from repro.data import batchify
+
+        assert batchify(np.arange(5), batch_size=4, seq_len=10) == []
+
+    def test_warmup_schedule_ramps(self, rng, tiny_config):
+        from repro.nn.trainer import Trainer as T
+
+        model = TransformerLM(tiny_config, rng)
+        tr = T(model, TrainConfig(epochs=1, lr=1.0, warmup_frac=0.5))
+        assert tr._lr_at(0, 10) == pytest.approx(0.2)
+        assert tr._lr_at(4, 10) == pytest.approx(1.0)
+        assert tr._lr_at(9, 10) == 1.0
+
+    def test_prune_model_on_model_without_encoder(self, rng):
+        from repro.nn.modules import Linear, Module
+        from repro.pruning import PruneMethod, prune_model
+
+        class Bare(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(4, 4, np.random.default_rng(0))
+
+            def forward(self, x):
+                return self.lin(x)
+
+        s = prune_model(Bare(), PruneMethod.TILE, 0.5, tile=(2, 2))
+        assert not s.masks  # nothing prunable, nothing broken

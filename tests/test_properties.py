@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.metrics import f1_binary, spearman
+from repro.gpu import KernelCost, MemPattern, Timeline, V100S, mem_efficiency
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+from repro.ops.gemm import GemmAlgo, gemm_efficiency
+from repro.ops.softmax import softmax
+from repro.pruning.masks import col_mask, irregular_mask, row_mask, sparsity, tile_mask
+from repro.tensor.fp16 import fp16_matmul, to_bf16, to_fp16
+from repro.tensor.sparse import CondensedColPruned, CondensedRowPruned, TileBCSR
+from repro.tensor.tiles import expand_tile_mask, tile_norms, tile_view, untile_view
+
+# -- strategies --------------------------------------------------------------
+
+finite_matrix = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6).map(lambda n: n * 8),
+              st.integers(1, 6).map(lambda n: n * 8)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+ratio_st = st.floats(0.0, 0.95)
+
+
+class TestSparseFormatProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(w=finite_matrix)
+    def test_tilebcsr_roundtrip(self, w):
+        fmt = TileBCSR.from_dense(w, tile=(8, 8))
+        np.testing.assert_array_equal(fmt.to_dense(), w)
+
+    @settings(max_examples=30, deadline=None)
+    @given(w=finite_matrix, ratio=ratio_st)
+    def test_tilebcsr_matmul_matches_dense(self, w, ratio):
+        wm = w * tile_mask(w, ratio, (8, 8))
+        fmt = TileBCSR.from_dense(wm, tile=(8, 8))
+        x = np.ones((3, w.shape[1]))
+        np.testing.assert_allclose(fmt.matmul(x), x @ wm.T, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(w=finite_matrix, ratio=ratio_st)
+    def test_row_condense_roundtrip(self, w, ratio):
+        wm = w * row_mask(w, ratio)
+        keep = np.any(wm != 0, axis=1)
+        fmt = CondensedRowPruned.from_dense(wm, keep)
+        np.testing.assert_array_equal(fmt.to_dense()[keep], wm[keep])
+
+    @settings(max_examples=30, deadline=None)
+    @given(w=finite_matrix, ratio=ratio_st)
+    def test_col_condense_matmul(self, w, ratio):
+        wm = w * col_mask(w, ratio)
+        fmt = CondensedColPruned.from_dense(wm, np.any(wm != 0, axis=0))
+        x = np.ones((2, w.shape[1]))
+        np.testing.assert_allclose(fmt.matmul(x), x @ wm.T, atol=1e-8)
+
+
+class TestMaskProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(w=finite_matrix, ratio=st.floats(0.0, 0.9))
+    def test_mask_sparsity_close_to_ratio(self, w, ratio):
+        for fn in (irregular_mask, row_mask, col_mask):
+            m = fn(w, ratio)
+            # group granularity limits precision: within one group's worth
+            assert abs(sparsity(m) - ratio) <= 1.0 / min(w.shape) + 0.02
+
+    @settings(max_examples=40, deadline=None)
+    @given(w=finite_matrix, ratio=ratio_st)
+    def test_masks_are_binary_and_something_survives(self, w, ratio):
+        for fn in (irregular_mask, row_mask, col_mask,
+                   lambda a, r: tile_mask(a, r, (8, 8))):
+            m = fn(w, ratio)
+            assert set(np.unique(m)) <= {0.0, 1.0}
+            assert m.sum() >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(w=finite_matrix, r1=ratio_st, r2=ratio_st)
+    def test_irregular_mask_monotone_in_ratio(self, w, r1, r2):
+        lo, hi = sorted((r1, r2))
+        m_lo = irregular_mask(w, lo)
+        m_hi = irregular_mask(w, hi)
+        # a weight pruned at the lower ratio stays pruned at the higher one
+        assert np.all(m_hi <= m_lo)
+
+
+class TestTileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(w=finite_matrix)
+    def test_tile_view_roundtrip(self, w):
+        np.testing.assert_array_equal(untile_view(tile_view(w, (8, 8))), w)
+
+    @settings(max_examples=40, deadline=None)
+    @given(w=finite_matrix)
+    def test_tile_norm_energy(self, w):
+        norms = tile_norms(w, (8, 8))
+        assert (norms**2).sum() == pytest.approx((w**2).sum(), rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tm=hnp.arrays(np.bool_, (4, 5)))
+    def test_expand_tile_mask_density(self, tm):
+        m = expand_tile_mask(tm, (3, 2))
+        assert m.mean() == pytest.approx(tm.mean())
+
+
+class TestFp16Properties:
+    @settings(max_examples=50, deadline=None)
+    @given(x=hnp.arrays(np.float64, 16, elements=st.floats(-6e4, 6e4,
+                                                           allow_nan=False)))
+    def test_fp16_roundtrip_error_bounded(self, x):
+        y = to_fp16(x).astype(np.float64)
+        # relative error bounded by half ULP ~ 2^-11
+        np.testing.assert_allclose(y, x, rtol=2.0**-10, atol=1e-7)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=hnp.arrays(np.float32, 16,
+                        elements=st.floats(-float(2.0**96), float(2.0**96),
+                                           allow_nan=False,
+                                           allow_subnormal=False, width=32)))
+    def test_bf16_magnitude_never_grows(self, x):
+        # bf16 emulation truncates toward zero, so it never rounds up.
+        y = to_bf16(x)
+        assert np.all(np.abs(y) <= np.abs(x))
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=hnp.arrays(np.float64, (4, 8), elements=st.floats(-8, 8)),
+           b=hnp.arrays(np.float64, (8, 3), elements=st.floats(-8, 8)))
+    def test_fp16_matmul_close_to_exact_when_no_overflow(self, a, b):
+        rep = fp16_matmul(a, b, accumulate="fp16")
+        if not rep.overflow_mask.any():
+            np.testing.assert_allclose(rep.result, a @ b, atol=1.0)
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(x=hnp.arrays(np.float64, (3, 8),
+                        elements=st.floats(-100, 100, allow_nan=False)))
+    def test_simplex(self, x):
+        p = softmax(x)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(-1), 1.0, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=hnp.arrays(np.float64, 8,
+                        elements=st.floats(-50, 50, allow_nan=False)),
+           shift=st.floats(-1e3, 1e3, allow_nan=False))
+    def test_shift_invariance(self, x, shift):
+        np.testing.assert_allclose(softmax(x), softmax(x + shift), atol=1e-9)
+
+
+class TestAutogradProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(x=hnp.arrays(np.float64, (3, 4),
+                        elements=st.floats(-3, 3, allow_nan=False)))
+    def test_softmax_rows_grad_sums_to_zero(self, x):
+        t = Tensor(x, requires_grad=True)
+        proj = np.eye(4)[0]
+        (ag.softmax(t, axis=-1) * Tensor(proj)).sum().backward()
+        # d(softmax)/dx along each row sums to 0 (probability conservation)
+        np.testing.assert_allclose(t.grad.sum(axis=-1), 0.0, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=hnp.arrays(np.float64, (2, 6),
+                        elements=st.floats(-3, 3, allow_nan=False)))
+    def test_layer_norm_output_stats(self, x):
+        g = Tensor(np.ones(6))
+        b = Tensor(np.zeros(6))
+        y = ag.layer_norm(Tensor(x), g, b).data
+        np.testing.assert_allclose(y.mean(-1), 0.0, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=hnp.arrays(np.float64, 8, elements=st.floats(-5, 5)))
+    def test_linearity_of_grad(self, x):
+        t1 = Tensor(x, requires_grad=True)
+        (t1 * 3.0).sum().backward()
+        np.testing.assert_allclose(t1.grad, np.full(8, 3.0))
+
+
+class TestCostModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(b1=st.floats(1.0, 1e9), b2=st.floats(1.0, 1e9))
+    def test_mem_time_monotone_in_bytes(self, b1, b2):
+        lo, hi = sorted((b1, b2))
+        k_lo = KernelCost("k", bytes_loaded=lo)
+        k_hi = KernelCost("k", bytes_loaded=hi)
+        assert k_lo.mem_time_us(V100S) <= k_hi.mem_time_us(V100S) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(f1=st.floats(1.0, 1e13), f2=st.floats(1.0, 1e13),
+           eff=st.floats(0.01, 1.0))
+    def test_compute_time_monotone_in_flops(self, f1, f2, eff):
+        lo, hi = sorted((f1, f2))
+        assert KernelCost("k", flops=lo, compute_eff=eff).compute_time_us(
+            V100S) <= KernelCost("k", flops=hi, compute_eff=eff
+                                 ).compute_time_us(V100S) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(1, 512), n=st.integers(1, 4096),
+           k=st.integers(1, 4096))
+    def test_gemm_efficiency_bounded(self, m, n, k):
+        e = gemm_efficiency(m, n, k, GemmAlgo.ALGO5_TENSOR_OP)
+        assert 0.0 < e <= GemmAlgo.ALGO5_TENSOR_OP.value
+
+    @settings(max_examples=40, deadline=None)
+    @given(b=st.floats(0.0, 1e10))
+    def test_mem_efficiency_bounded(self, b):
+        for p in MemPattern:
+            assert 0.0 <= mem_efficiency(b, p) <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(costs=st.lists(st.floats(1e3, 1e9), min_size=1, max_size=6))
+    def test_timeline_time_additive(self, costs):
+        tl = Timeline()
+        total = 0.0
+        for c in costs:
+            rec = tl.launch(KernelCost("k", bytes_loaded=c))
+            total += rec.time_us
+        assert tl.total_time_us == pytest.approx(total)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(y=hnp.arrays(np.int64, 20, elements=st.integers(0, 1)))
+    def test_f1_perfect_prediction(self, y):
+        if y.sum() > 0:
+            assert f1_binary(y, y) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=hnp.arrays(np.float64, 10,
+                        elements=st.floats(-100, 100, allow_nan=False,
+                                           allow_subnormal=False)))
+    def test_spearman_self_correlation(self, x):
+        if np.unique(x).size > 1 and np.ptp(x) > 1e-6:
+            assert spearman(x, x) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=hnp.arrays(np.int64, 10, unique=True,
+                        elements=st.integers(-1000, 1000)))
+    def test_spearman_monotone_invariance(self, x):
+        # Strictly increasing transforms preserve ranks exactly (integer
+        # inputs avoid float ties that would break strictness).
+        assert spearman(np.exp(x / 500.0), x.astype(float)) == pytest.approx(1.0)

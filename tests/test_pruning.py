@@ -1,0 +1,284 @@
+"""Pruning: masks, reweighted group lasso, pipelines, attention-aware plan."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_config
+from repro.nn import TrainConfig, Trainer, TransformerLM
+from repro.pruning import (
+    AttentionAwarePlan,
+    MatrixRole,
+    PruneMethod,
+    ReweightedGroupLasso,
+    col_mask,
+    irregular_mask,
+    mask_summary,
+    plan_attention_aware,
+    prunable_parameters,
+    prune_and_retrain,
+    prune_model,
+    row_mask,
+    sparsity,
+    svd_compress,
+    tile_mask,
+)
+from repro.pruning.attention_aware import matrix_kind
+from repro.pruning.lowrank import compress_model, rank_for_ratio
+
+
+@pytest.fixture
+def w(rng):
+    return rng.standard_normal((64, 48))
+
+
+class TestMasks:
+    @pytest.mark.parametrize("fn", [irregular_mask, row_mask, col_mask])
+    def test_target_ratio_achieved(self, fn, w):
+        for ratio in (0.25, 0.5, 0.75):
+            assert sparsity(fn(w, ratio)) == pytest.approx(ratio, abs=0.05)
+
+    def test_tile_ratio_achieved(self, w):
+        m = tile_mask(w, 0.5, (16, 16))
+        assert sparsity(m) == pytest.approx(0.5, abs=0.1)
+
+    def test_irregular_keeps_largest(self, w):
+        m = irregular_mask(w, 0.5)
+        kept = np.abs(w[m == 1])
+        pruned = np.abs(w[m == 0])
+        assert kept.min() >= pruned.max() - 1e-12
+
+    def test_row_mask_is_row_structured(self, w):
+        m = row_mask(w, 0.5)
+        assert all(row.all() or not row.any() for row in m.astype(bool))
+
+    def test_col_mask_is_col_structured(self, w):
+        m = col_mask(w, 0.5)
+        assert all(col.all() or not col.any() for col in m.astype(bool).T)
+
+    def test_tile_mask_is_tile_structured(self, w):
+        from repro.tensor.tiles import tile_view
+
+        m = tile_mask(w, 0.5, (16, 16)).astype(bool)
+        tiles = tile_view(m, (16, 16))
+        for i in range(tiles.shape[0]):
+            for j in range(tiles.shape[1]):
+                assert tiles[i, j].all() or not tiles[i, j].any()
+
+    def test_never_prunes_everything(self, w):
+        assert irregular_mask(w, 0.999).sum() >= 1
+        assert row_mask(w, 0.99).sum() >= w.shape[1]
+
+    def test_ratio_zero_keeps_all(self, w):
+        assert sparsity(irregular_mask(w, 0.0)) == 0.0
+
+    def test_invalid_ratio(self, w):
+        with pytest.raises(ValueError):
+            irregular_mask(w, 1.0)
+        with pytest.raises(ValueError):
+            tile_mask(w, -0.1)
+
+    def test_mask_summary(self, w):
+        masks = {"a": irregular_mask(w, 0.5), "b": irregular_mask(w, 0.0)}
+        s = mask_summary(masks)
+        assert s["a"] == pytest.approx(0.5, abs=0.02)
+        assert s["__overall__"] == pytest.approx(0.25, abs=0.02)
+
+
+class TestReweighted:
+    def test_beta_inverse_of_norm(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        reg = ReweightedGroupLasso(lam=1e-3, tile=(8, 8))
+        reg.update_betas(0, model)
+        snap = reg.tile_norm_snapshot(model)
+        name, norms = next(iter(snap.items()))
+        p = dict(model.named_parameters())[name]
+        np.testing.assert_allclose(reg._betas[id(p)],
+                                   1.0 / (norms + reg.eps))
+
+    def test_penalty_positive_and_differentiable(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        reg = ReweightedGroupLasso(lam=1e-3, tile=(8, 8))
+        pen = reg.penalty(model)
+        assert float(pen.data) > 0
+        pen.backward()
+        wq = dict(model.named_parameters())["encoder.layers.0.attn.wq.weight"]
+        assert wq.grad is not None and np.abs(wq.grad).sum() > 0
+
+    def test_penalty_excludes_embeddings_and_heads(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        reg = ReweightedGroupLasso(lam=1.0, tile=(8, 8))
+        reg.penalty(model).backward()
+        emb = dict(model.named_parameters())["embed.weight"]
+        head = dict(model.named_parameters())["lm_head.weight"]
+        assert emb.grad is None and head.grad is None
+
+    def test_milestone_gating(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        reg = ReweightedGroupLasso(lam=1e-3, tile=(8, 8), milestones=(0,))
+        reg.update_betas(0, model)
+        before = {k: v.copy() for k, v in reg._betas.items()}
+        for p in model.parameters():
+            p.data *= 2.0
+        reg.update_betas(1, model)  # not a milestone -> unchanged
+        for k in before:
+            np.testing.assert_array_equal(reg._betas[k], before[k])
+
+    def test_regularized_training_shrinks_tile_norms(self, rng, tiny_config):
+        """The regularizer drives small tiles toward zero, increasing the
+        spread between strong and weak tiles (what makes tile pruning safe)."""
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (8, 12))
+        reg = ReweightedGroupLasso(lam=5e-3, tile=(8, 8))
+        before = reg.tile_norm_snapshot(model)
+        Trainer(model, TrainConfig(epochs=5, lr=2e-3),
+                regularizer=reg.penalty,
+                epoch_callback=reg.update_betas).fit_lm([toks])
+        after = reg.tile_norm_snapshot(model)
+        name = "encoder.layers.0.attn.wq.weight"
+        # mean tile norm decreases under the group-lasso pressure
+        assert after[name].mean() < before[name].mean()
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            ReweightedGroupLasso(lam=-1.0)
+
+
+class TestAttentionAwarePlan:
+    def test_standard_plan(self):
+        plan = plan_attention_aware(precompute=False)
+        assert plan.role_for("wq") is MatrixRole.TILE
+        assert plan.role_for("wk") is MatrixRole.TILE
+        assert plan.role_for("wv") is MatrixRole.ROW
+        assert plan.role_for("wo") is MatrixRole.TILE
+
+    def test_precompute_plan(self):
+        plan = plan_attention_aware(precompute=True)
+        assert plan.role_for("wv") is MatrixRole.DENSE
+        assert plan.role_for("wo") is MatrixRole.ROW
+
+    def test_q_k_never_row_pruned(self):
+        """Section 4.3: row pruning Q or K destroys retrieval accuracy."""
+        for pc in (False, True):
+            plan = plan_attention_aware(pc)
+            assert plan.role_for("wq") is not MatrixRole.ROW
+            assert plan.role_for("wk") is not MatrixRole.ROW
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            plan_attention_aware().role_for("wx")
+
+    def test_matrix_kind_parser(self):
+        assert matrix_kind("encoder.layers.3.attn.wv.weight") == "wv"
+        assert matrix_kind("encoder.layers.0.ffn.fc1.weight") == "fc1"
+        assert matrix_kind("encoder.layers.0.attn.wv.bias") is None
+        assert matrix_kind("embed.weight") is None
+
+
+class TestPruneModel:
+    def test_prunable_set(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        kinds = [k for _, k, _ in prunable_parameters(model)]
+        assert kinds.count("wq") == tiny_config.num_layers
+        assert set(kinds) == {"wq", "wk", "wv", "wo", "fc1", "fc2"}
+
+    @pytest.mark.parametrize("method", [
+        PruneMethod.IRREGULAR, PruneMethod.COLUMN, PruneMethod.ROW,
+        PruneMethod.TILE, PruneMethod.ATTENTION_AWARE,
+    ])
+    def test_overall_ratio(self, method, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        s = prune_model(model, method, 0.5, tile=(8, 8))
+        assert s.overall_sparsity == pytest.approx(0.5, abs=0.12)
+
+    def test_none_is_noop(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        s = prune_model(model, PruneMethod.NONE, 0.5)
+        assert s.overall_sparsity == 0.0 and not s.masks
+
+    def test_masks_frozen_through_retraining(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (4, 10))
+        s = prune_model(model, PruneMethod.TILE, 0.5, tile=(8, 8))
+        Trainer(model, TrainConfig(epochs=3, lr=2e-3)).fit_lm([toks])
+        for name, mask in s.masks.items():
+            p = dict(model.named_parameters())[name]
+            assert np.all(p.data[mask == 0] == 0), name
+
+    def test_attention_aware_wv_dense_with_precompute(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        s = prune_model(model, PruneMethod.ATTENTION_AWARE, 0.5,
+                        precompute=True, tile=(8, 8))
+        wv = s.masks["encoder.layers.0.attn.wv.weight"]
+        assert wv.all()  # dense
+        wo = s.masks["encoder.layers.0.attn.wo.weight"]
+        assert sparsity(wo) == pytest.approx(0.5, abs=0.02)
+
+    def test_per_matrix_sparsity_report(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        s = prune_model(model, PruneMethod.COLUMN, 0.25)
+        for v in s.per_matrix_sparsity.values():
+            assert v == pytest.approx(0.25, abs=0.05)
+
+    def test_prune_and_retrain_pipeline(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        toks = rng.integers(0, tiny_config.vocab_size, (4, 10))
+        calls = {"reweighted": 0, "retrain": 0}
+
+        def reweighted_train(reg):
+            calls["reweighted"] += 1
+            assert isinstance(reg, ReweightedGroupLasso)
+            Trainer(model, TrainConfig(epochs=1, lr=1e-3),
+                    regularizer=reg.penalty,
+                    epoch_callback=reg.update_betas).fit_lm([toks])
+
+        def retrain():
+            calls["retrain"] += 1
+            Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit_lm([toks])
+
+        s = prune_and_retrain(model, PruneMethod.TILE, 0.5, retrain,
+                              reweighted_train, tile=(8, 8))
+        assert calls == {"reweighted": 1, "retrain": 1}
+        assert s.overall_sparsity == pytest.approx(0.5, abs=0.1)
+
+    def test_prune_and_retrain_skips_reweighted_for_magnitude(self, rng,
+                                                              tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        calls = []
+        prune_and_retrain(model, PruneMethod.IRREGULAR, 0.5,
+                          retrain=lambda: None,
+                          reweighted_train=lambda reg: calls.append(1))
+        assert not calls
+
+
+class TestLowRank:
+    def test_rank_budget(self):
+        r = rank_for_ratio(64, 64, 0.8)
+        assert (64 * r + r * 64) <= 0.2 * 64 * 64 + 128
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            rank_for_ratio(10, 10, 1.0)
+
+    def test_svd_best_approximation(self, rng):
+        w = rng.standard_normal((32, 32))
+        f = svd_compress(w, 0.5)
+        rec = f.reconstruct()
+        assert rec.shape == w.shape
+        # Eckart–Young: truncated SVD error equals tail singular values.
+        _, s, _ = np.linalg.svd(w)
+        expected = np.sqrt((s[f.rank:] ** 2).sum())
+        assert np.linalg.norm(w - rec) == pytest.approx(expected, rel=1e-10)
+
+    def test_low_rank_exact_on_low_rank_input(self, rng):
+        u = rng.standard_normal((32, 2))
+        v = rng.standard_normal((2, 32))
+        f = svd_compress(u @ v, 0.8)
+        np.testing.assert_allclose(f.reconstruct(), u @ v, atol=1e-10)
+
+    def test_compress_model_replaces_weights(self, rng, tiny_config):
+        model = TransformerLM(tiny_config, rng)
+        before = model.encoder.layers[0].attn.wq.weight.data.copy()
+        factors = compress_model(model, 0.7)
+        after = model.encoder.layers[0].attn.wq.weight.data
+        assert not np.allclose(before, after)
+        assert "encoder.layers.0.attn.wq.weight" in factors

@@ -1,0 +1,349 @@
+"""Inference engines: numerics equivalence, latency orderings, compilation."""
+
+import numpy as np
+import pytest
+
+from repro.config import BERT_BASE, small_config
+from repro.nn import TransformerLM
+from repro.ops.gemm import GemmAlgo
+from repro.pruning import MatrixRole, PruneMethod
+from repro.runtime import (
+    EncoderWeights,
+    ETEngine,
+    FasterTransformerLikeEngine,
+    PyTorchLikeEngine,
+    TensorRTLikeEngine,
+    autotune_gemm_algo,
+)
+
+ALL_ENGINES = (PyTorchLikeEngine, TensorRTLikeEngine,
+               FasterTransformerLikeEngine, ETEngine)
+
+
+@pytest.fixture
+def cfg():
+    return small_config(name="rt", num_layers=2, d_model=64, num_heads=4,
+                        max_seq_len=64)
+
+
+@pytest.fixture
+def weights(cfg, rng):
+    return EncoderWeights.random(cfg, rng)
+
+
+@pytest.fixture
+def x(cfg, rng):
+    return rng.standard_normal((32, cfg.d_model))
+
+
+class TestWeights:
+    def test_random_shapes(self, weights, cfg):
+        assert len(weights.layers) == cfg.num_layers
+        lw = weights.layers[0]
+        assert lw.wq.shape == (cfg.d_model, cfg.d_model)
+        assert lw.fc1_w.shape == (cfg.d_ff, cfg.d_model)
+
+    def test_overall_sparsity_dense(self, weights):
+        assert weights.overall_sparsity == 0.0
+
+    def test_prune_annotates_roles(self, weights):
+        weights.prune(PruneMethod.ATTENTION_AWARE, 0.5, tile=(16, 16))
+        lw = weights.layers[0]
+        assert lw.role("wq") is MatrixRole.TILE
+        assert lw.role("wv") is MatrixRole.ROW
+        assert weights.overall_sparsity == pytest.approx(0.5, abs=0.1)
+
+    def test_from_model_matches_forward(self, cfg, rng):
+        """Engine output == nn model encoder output for batch size 1."""
+        model = TransformerLM(cfg, rng)
+        model.eval()
+        w = EncoderWeights.from_model(model)
+        toks = rng.integers(0, cfg.vocab_size, (1, 16))
+        # run nn encoder manually on the embedded input
+        from repro.nn.autograd import Tensor
+
+        emb = model.embed(toks) + Tensor(model.pe[:16])
+        ref = model.encoder(emb).data[0]
+        eng = TensorRTLikeEngine(w)
+        out = eng.run(emb.data[0]).output
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_from_model_carries_masks(self, cfg, rng):
+        from repro.pruning import prune_model
+
+        model = TransformerLM(cfg, rng)
+        prune_model(model, PruneMethod.TILE, 0.5, tile=(16, 16))
+        w = EncoderWeights.from_model(model)
+        assert "wq" in w.layers[0].masks
+        assert w.overall_sparsity > 0.3
+
+    def test_input_shape_validated(self, weights, rng):
+        eng = ETEngine(weights)
+        with pytest.raises(ValueError, match="expected"):
+            eng.run(rng.standard_normal((16, 99)))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES[1:])
+    def test_matches_pytorch_like(self, engine_cls, weights, x):
+        ref = PyTorchLikeEngine(weights).run(x).output
+        out = engine_cls(weights).run(x).output
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_with_causal_mask(self, weights, x):
+        from repro.ops import causal_mask
+
+        m = causal_mask(x.shape[0])
+        ref = PyTorchLikeEngine(weights).run(x, m).output
+        for cls in ALL_ENGINES[1:]:
+            np.testing.assert_allclose(cls(weights).run(x, m).output, ref,
+                                       atol=1e-8)
+
+    @pytest.mark.parametrize("method", [
+        PruneMethod.TILE, PruneMethod.COLUMN, PruneMethod.ROW,
+        PruneMethod.IRREGULAR, PruneMethod.ATTENTION_AWARE,
+    ])
+    def test_pruned_et_matches_dense_engines_on_masked_weights(
+            self, method, cfg, rng, x):
+        w = EncoderWeights.random(cfg, rng).prune(method, 0.5, tile=(16, 16))
+        ref = TensorRTLikeEngine(w).run(x).output  # dense math on masked W
+        out = ETEngine(w).run(x).output  # sparse-format execution
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_precompute_engine_matches(self, cfg, rng, x):
+        w = EncoderWeights.random(cfg, rng).prune(
+            PruneMethod.ATTENTION_AWARE, 0.5, precompute=True, tile=(16, 16))
+        ref = TensorRTLikeEngine(w).run(x).output
+        out = ETEngine(w, precompute=True).run(x).output
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+
+class TestLatencyOrderings:
+    """The Fig. 7 structure at paper scale."""
+
+    @pytest.fixture(scope="class")
+    def bert_x(self):
+        rng = np.random.default_rng(0)
+        return rng.standard_normal((128, BERT_BASE.d_model))
+
+    @pytest.fixture(scope="class")
+    def bert_w(self):
+        return EncoderWeights.random(BERT_BASE, np.random.default_rng(0), 1)
+
+    def test_dense_ordering(self, bert_w, bert_x):
+        t = {cls.name: cls(bert_w).run(bert_x).latency_us
+             for cls in ALL_ENGINES}
+        assert t["pytorch"] > t["tensorrt"] > t["fastertransformer"] > t["et"]
+
+    def test_tensorrt_encoder_anchor(self, bert_w, bert_x):
+        """Section 1: a TensorRT encoder is ~160 us at seqLen 128."""
+        t = TensorRTLikeEngine(bert_w).run(bert_x).latency_us
+        assert 130 <= t <= 200
+
+    def test_fig7_max_speedups(self, bert_x):
+        w95 = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+        w95.prune(PruneMethod.ATTENTION_AWARE, 0.95)
+        et = ETEngine(w95).run(bert_x).latency_us
+        dense = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+        pt = PyTorchLikeEngine(dense).run(bert_x).latency_us
+        trt = TensorRTLikeEngine(dense).run(bert_x).latency_us
+        ft = FasterTransformerLikeEngine(dense).run(bert_x).latency_us
+        assert 10.0 <= pt / et <= 18.0  # paper: 13.7x
+        assert 2.5 <= trt / et <= 4.5  # paper: 3.4x
+        assert 1.8 <= ft / et <= 3.5  # paper: 2.5x
+
+    def test_et_sparser_is_faster(self, bert_x):
+        times = []
+        for ratio in (0.5, 0.8, 0.95):
+            w = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+            w.prune(PruneMethod.ATTENTION_AWARE, ratio)
+            times.append(ETEngine(w).run(bert_x).latency_us)
+        assert times == sorted(times, reverse=True)
+
+    def test_et_dense_below_threshold_uses_dense_path(self, bert_x):
+        w = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+        w.prune(PruneMethod.ATTENTION_AWARE, 0.2)
+        eng = ETEngine(w)
+        assert not eng.sparse_mode  # below the 40% threshold
+
+    def test_method_latency_ordering(self, bert_x):
+        """Table 1 ordering at equal ratio: AA <= tile < column << irregular."""
+        t = {}
+        for method in (PruneMethod.ATTENTION_AWARE, PruneMethod.TILE,
+                       PruneMethod.COLUMN, PruneMethod.IRREGULAR):
+            w = EncoderWeights.random(BERT_BASE, np.random.default_rng(1), 1)
+            w.prune(method, 0.6)
+            t[method] = ETEngine(w).run(bert_x).latency_us
+        assert t[PruneMethod.ATTENTION_AWARE] <= t[PruneMethod.TILE] * 1.02
+        assert t[PruneMethod.TILE] < t[PruneMethod.COLUMN]
+        assert t[PruneMethod.IRREGULAR] > 10 * t[PruneMethod.TILE]
+
+    def test_adaptive_attention_choice_recorded(self, bert_w, bert_x):
+        res = ETEngine(bert_w).run(bert_x)
+        assert res.choices["layer0.attention"] == "otf"  # short sequence
+
+    def test_partial_otf_chosen_for_long_sequences(self):
+        rng = np.random.default_rng(0)
+        w = EncoderWeights.random(BERT_BASE, rng, 1)
+        x = rng.standard_normal((384, BERT_BASE.d_model))
+        res = ETEngine(w).run(x)
+        assert res.choices["layer0.attention"] == "partial_otf"
+
+
+class TestKernelCounts:
+    def test_pytorch_like_is_unfused(self, weights, x):
+        res = PyTorchLikeEngine(weights).run(x)
+        per_layer = res.timeline.num_kernels / len(weights.layers)
+        assert per_layer >= 18
+
+    def test_tensorrt_like_fused(self, weights, x):
+        res = TensorRTLikeEngine(weights).run(x)
+        assert res.timeline.num_kernels / len(weights.layers) == 9
+
+    def test_fastertransformer_fewer(self, weights, x):
+        res = FasterTransformerLikeEngine(weights).run(x)
+        assert res.timeline.num_kernels / len(weights.layers) == 7
+
+    def test_et_dense_five_kernels(self, weights, x):
+        res = ETEngine(weights).run(x)
+        assert res.timeline.num_kernels / len(weights.layers) == 5
+
+    def test_et_sparse_kernel_budget(self, cfg, rng, x):
+        w = EncoderWeights.random(cfg, rng).prune(
+            PruneMethod.ATTENTION_AWARE, 0.6, tile=(16, 16))
+        res = ETEngine(w).run(x)
+        assert res.timeline.num_kernels / len(w.layers) <= 7
+
+
+class TestAutotune:
+    def test_finds_algo5_on_paper_shapes(self):
+        """Section 5.2.1: CUBLAS_GEMM_ALGO5_TENSOR_OP wins on the server."""
+        assert autotune_gemm_algo(128, 768, 768) is GemmAlgo.ALGO5_TENSOR_OP
+        assert autotune_gemm_algo(128, 3072, 768) is GemmAlgo.ALGO5_TENSOR_OP
+
+    def test_cached(self):
+        a1 = autotune_gemm_algo(64, 64, 64)
+        a2 = autotune_gemm_algo(64, 64, 64)
+        assert a1 is a2
+
+    def test_latency_us_convenience(self, weights):
+        t = ETEngine(weights).latency_us(16)
+        assert t > 0
+
+
+class TestTransformerConfigEngines:
+    """Paper's WikiText-2 Transformer shapes (d=800, H=4, d_k=200)."""
+
+    def test_all_engines_on_transformer_with_causal_mask(self, rng):
+        from repro.config import TRANSFORMER_WT2
+        from repro.ops import causal_mask
+
+        w = EncoderWeights.random(TRANSFORMER_WT2, rng, num_layers=1)
+        x = rng.standard_normal((64, 800))
+        m = causal_mask(64)
+        ref = PyTorchLikeEngine(w).run(x, m).output
+        for cls in (TensorRTLikeEngine, FasterTransformerLikeEngine, ETEngine):
+            out = cls(w).run(x, m).output
+            np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_fig1_speedup_at_80_percent(self, rng):
+        from repro.config import TRANSFORMER_WT2
+
+        x = rng.standard_normal((128, 800))
+        dense = EncoderWeights.random(TRANSFORMER_WT2,
+                                      np.random.default_rng(0), 1)
+        t_trt = TensorRTLikeEngine(dense).run(x).latency_us
+        pruned = EncoderWeights.random(TRANSFORMER_WT2,
+                                       np.random.default_rng(0), 1)
+        pruned.prune(PruneMethod.ATTENTION_AWARE, 0.8)
+        t_et = ETEngine(pruned).run(x).latency_us
+        assert 1.8 <= t_trt / t_et <= 3.2  # Fig. 1: ~2.5x
+
+
+class TestPrecomputeDense:
+    def test_precompute_without_pruning_matches(self, cfg, rng, x):
+        """The §7 training-mode fold works on fully dense weights too."""
+        w = EncoderWeights.random(cfg, rng)
+        ref = TensorRTLikeEngine(w).run(x).output
+        et = ETEngine(w, precompute=True)
+        assert et.sparse_mode  # precompute forces the folded schedule
+        np.testing.assert_allclose(et.run(x).output, ref, atol=1e-8)
+
+
+class TestDeviceParam:
+    def test_engines_accept_a100(self, weights, x):
+        from repro.gpu import A100
+
+        res = ETEngine(weights, A100).run(x)
+        assert res.timeline.device is A100
+        assert res.latency_us < ETEngine(weights).run(x).latency_us
+
+
+class TestLayerWeightAccessors:
+    def test_bias_accessor(self, weights):
+        lw = weights.layers[0]
+        for kind, expect in (("wq", lw.bq), ("fc1", lw.fc1_b)):
+            assert lw.bias(kind) is expect
+
+    def test_sparsity_accessor(self, cfg, rng):
+        w = EncoderWeights.random(cfg, rng).prune(PruneMethod.TILE, 0.5,
+                                                  tile=(16, 16))
+        assert w.layers[0].sparsity("wq") == pytest.approx(0.5, abs=0.1)
+
+    def test_unknown_kind(self, weights):
+        with pytest.raises(KeyError):
+            weights.layers[0].weight("wz")
+
+
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, cfg, rng, x, tmp_path):
+        w = EncoderWeights.random(cfg, rng).prune(
+            PruneMethod.ATTENTION_AWARE, 0.5, tile=(16, 16))
+        ref = ETEngine(w).run(x)
+        path = tmp_path / "ckpt.npz"
+        w.save(path)
+        w2 = EncoderWeights.load(path)
+        assert w2.config == w.config
+        assert w2.layers[0].roles == w.layers[0].roles
+        res = ETEngine(w2).run(x)
+        np.testing.assert_array_equal(res.output, ref.output)
+        assert res.latency_us == pytest.approx(ref.latency_us)
+
+    def test_load_preserves_sparsity(self, cfg, rng, tmp_path):
+        w = EncoderWeights.random(cfg, rng).prune(PruneMethod.TILE, 0.7,
+                                                  tile=(16, 16))
+        path = tmp_path / "c.npz"
+        w.save(path)
+        assert EncoderWeights.load(path).overall_sparsity == pytest.approx(
+            w.overall_sparsity)
+
+
+class TestRoofline:
+    def test_attention_steps_memory_bound(self, rng):
+        """Section 5.2.6: every attention-region operator sits below the
+        ridge point (the highest intensity among steps 1-7 is ~128)."""
+        from repro.attention import fused_attention
+        from repro.gpu import Timeline
+        from repro.ops.context import fp16_ctx
+
+        h, s, dk = 12, 128, 64
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        tl = Timeline()
+        fused_attention(fp16_ctx(tl), q, k, v)
+        report = tl.roofline_report()
+        assert all(row["memory_bound"] for row in report)
+        assert all(row["arithmetic_intensity"] < 138 for row in report)
+
+    def test_ridge_point_near_paper_138(self):
+        """V100S FP16 ridge: 130 TFLOP/s / 1134 GB/s ~ 115 FLOP/B (the
+        paper's guide [36] quotes 138 for slightly different peaks)."""
+        from repro.gpu import V100S, KernelCost
+
+        k = KernelCost("k", flops=1.0, bytes_loaded=1.0)
+        ridge = V100S.peak_flops(True) / (V100S.peak_bw_gbs * 1e9)
+        assert 100 <= ridge <= 140
+
+    def test_intensity_infinite_without_traffic(self):
+        from repro.gpu import KernelCost
+
+        assert KernelCost("k", flops=10.0).arithmetic_intensity == float("inf")

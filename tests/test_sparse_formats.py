@@ -1,0 +1,132 @@
+"""Sparse weight containers (Section 4.1 formats)."""
+
+import numpy as np
+import pytest
+
+from repro.pruning.masks import col_mask, irregular_mask, row_mask, tile_mask
+from repro.tensor.sparse import (
+    CondensedColPruned,
+    CondensedRowPruned,
+    TileBCSR,
+    dense_from_mask,
+)
+
+
+@pytest.fixture
+def w(rng):
+    return rng.standard_normal((64, 48))
+
+
+class TestRowPruned:
+    def test_roundtrip(self, w):
+        mask = row_mask(w, 0.5)[:, 0].astype(bool)
+        fmt = CondensedRowPruned.from_dense(w, mask)
+        np.testing.assert_array_equal(fmt.to_dense(), w * mask[:, None])
+
+    def test_condensed_matmul_matches_masked(self, w, rng):
+        mask = row_mask(w, 0.25)[:, 0].astype(bool)
+        fmt = CondensedRowPruned.from_dense(w, mask)
+        x = rng.standard_normal((5, 48))
+        full = fmt.matmul(x)
+        np.testing.assert_allclose(full, x @ (w * mask[:, None]).T, atol=1e-12)
+        cond = fmt.matmul_condensed(x)
+        np.testing.assert_allclose(cond, full[:, fmt.kept_rows], atol=1e-12)
+
+    def test_sparsity(self, w):
+        mask = np.zeros(64, bool)
+        mask[:16] = True
+        fmt = CondensedRowPruned.from_dense(w, mask)
+        assert fmt.sparsity == pytest.approx(0.75)
+        assert fmt.weight.shape == (16, 48)
+
+    def test_mask_shape_validated(self, w):
+        with pytest.raises(ValueError):
+            CondensedRowPruned.from_dense(w, np.ones(10, bool))
+
+    def test_index_range_validated(self):
+        with pytest.raises(ValueError, match="range"):
+            CondensedRowPruned(weight=np.ones((2, 4)),
+                               kept_rows=np.array([0, 5]), out_features=3)
+
+
+class TestColPruned:
+    def test_roundtrip(self, w):
+        mask = col_mask(w, 0.5)[0].astype(bool)
+        fmt = CondensedColPruned.from_dense(w, mask)
+        np.testing.assert_array_equal(fmt.to_dense(), w * mask[None, :])
+
+    def test_matmul_matches_masked(self, w, rng):
+        mask = col_mask(w, 0.4)[0].astype(bool)
+        fmt = CondensedColPruned.from_dense(w, mask)
+        x = rng.standard_normal((7, 48))
+        np.testing.assert_allclose(
+            fmt.matmul(x), x @ (w * mask[None, :]).T, atol=1e-12
+        )
+
+    def test_gather_input_selects_kept(self, w, rng):
+        mask = np.zeros(48, bool)
+        mask[[1, 5, 7]] = True
+        fmt = CondensedColPruned.from_dense(w, mask)
+        x = rng.standard_normal((3, 48))
+        np.testing.assert_array_equal(fmt.gather_input(x), x[:, [1, 5, 7]])
+
+    def test_gather_is_contiguous_copy(self, w, rng):
+        mask = col_mask(w, 0.5)[0].astype(bool)
+        fmt = CondensedColPruned.from_dense(w, mask)
+        xa = fmt.gather_input(rng.standard_normal((3, 48)))
+        assert xa.flags["C_CONTIGUOUS"]
+
+
+class TestTileBCSR:
+    def test_roundtrip_tile_pruned(self, w):
+        wt = w * tile_mask(w, 0.6, (16, 16))
+        fmt = TileBCSR.from_dense(wt)
+        np.testing.assert_array_equal(fmt.to_dense(), wt)
+
+    def test_roundtrip_irregular(self, w):
+        wi = w * irregular_mask(w, 0.9)
+        fmt = TileBCSR.from_dense(wi)
+        np.testing.assert_array_equal(fmt.to_dense(), wi)
+
+    def test_matmul_matches_masked(self, w, rng):
+        wt = w * tile_mask(w, 0.5, (16, 16))
+        fmt = TileBCSR.from_dense(wt)
+        x = rng.standard_normal((9, 48))
+        np.testing.assert_allclose(fmt.matmul(x), x @ wt.T, atol=1e-10)
+
+    def test_tile_sparsity(self, w):
+        wt = w * tile_mask(w, 0.5, (16, 16))
+        fmt = TileBCSR.from_dense(wt)
+        assert fmt.tile_sparsity == pytest.approx(0.5)
+        # tiles are internally dense for tile pruning
+        assert fmt.element_sparsity == pytest.approx(0.5)
+
+    def test_irregular_bitmap_nearly_full(self, w):
+        # magnitude pruning at 50% leaves essentially every 16x16 tile
+        # occupied — why irregular can't skip tiles.
+        wi = w * irregular_mask(w, 0.5)
+        fmt = TileBCSR.from_dense(wi)
+        assert fmt.tile_sparsity == 0.0
+        assert fmt.element_sparsity == pytest.approx(0.5, abs=0.01)
+
+    def test_empty_matrix(self):
+        fmt = TileBCSR.from_dense(np.zeros((32, 32)))
+        assert fmt.num_tiles == 0
+        np.testing.assert_array_equal(fmt.to_dense(), np.zeros((32, 32)))
+        np.testing.assert_array_equal(fmt.matmul(np.ones((2, 32))),
+                                      np.zeros((2, 32)))
+
+    def test_row_ptr_monotone(self, w):
+        fmt = TileBCSR.from_dense(w * tile_mask(w, 0.3, (16, 16)))
+        assert (np.diff(fmt.row_ptr) >= 0).all()
+        assert fmt.row_ptr[-1] == fmt.num_tiles
+
+
+class TestDenseFromMask:
+    def test_reference_semantics(self, w):
+        mask = irregular_mask(w, 0.7)
+        np.testing.assert_array_equal(dense_from_mask(w, mask), w * mask)
+
+    def test_shape_mismatch(self, w):
+        with pytest.raises(ValueError):
+            dense_from_mask(w, np.ones((2, 2)))

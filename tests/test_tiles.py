@@ -1,0 +1,97 @@
+"""Tile partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.tiles import (
+    TENSOR_TILE,
+    check_tileable,
+    expand_tile_mask,
+    pad_to_tiles,
+    tile_grid_shape,
+    tile_norms,
+    tile_view,
+    tiles_kept,
+    untile_view,
+)
+
+
+class TestTileView:
+    def test_roundtrip(self, rng):
+        w = rng.standard_normal((64, 48))
+        t = tile_view(w, (16, 16))
+        assert t.shape == (4, 3, 16, 16)
+        np.testing.assert_array_equal(untile_view(t), w)
+
+    def test_tile_contents(self):
+        w = np.arange(16).reshape(4, 4).astype(float)
+        t = tile_view(w, (2, 2))
+        np.testing.assert_array_equal(t[0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(t[1, 1], [[10, 11], [14, 15]])
+
+    def test_not_divisible_raises(self):
+        with pytest.raises(ValueError, match="divisible"):
+            tile_view(np.zeros((10, 16)), (16, 16))
+
+    def test_nonpositive_tile_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_tileable((16, 16), (0, 16))
+
+    def test_grid_shape(self):
+        assert tile_grid_shape((800, 800), (16, 16)) == (50, 50)
+        assert tile_grid_shape((2400, 800), (16, 16)) == (150, 50)
+
+    def test_view_no_copy_for_contiguous(self, rng):
+        w = rng.standard_normal((32, 32))
+        t = tile_view(w, (16, 16))
+        assert t.base is not None  # a view chain, not a fresh copy
+
+
+class TestTileNorms:
+    def test_known_norms(self):
+        w = np.zeros((4, 4))
+        w[:2, :2] = 3.0  # tile (0,0) has 4 entries of 3 -> norm 6
+        norms = tile_norms(w, (2, 2))
+        assert norms[0, 0] == pytest.approx(6.0)
+        assert norms[1, 1] == 0.0
+
+    def test_norms_nonnegative(self, rng):
+        norms = tile_norms(rng.standard_normal((32, 32)), (8, 8))
+        assert (norms >= 0).all()
+
+    def test_sum_of_squares_preserved(self, rng):
+        w = rng.standard_normal((32, 48))
+        norms = tile_norms(w, (16, 16))
+        assert (norms**2).sum() == pytest.approx((w**2).sum())
+
+
+class TestMaskExpansion:
+    def test_expand(self):
+        tm = np.array([[True, False], [False, True]])
+        m = expand_tile_mask(tm, (2, 3))
+        assert m.shape == (4, 6)
+        assert m[:2, :3].all()
+        assert not m[:2, 3:].any()
+        assert m[2:, 3:].all()
+
+    def test_tiles_kept(self):
+        tm = np.array([[1, 0], [1, 1]], dtype=bool)
+        assert tiles_kept(tm) == 3
+
+    def test_default_tile_is_16(self):
+        assert TENSOR_TILE == 16
+
+
+class TestPadding:
+    def test_no_pad_needed(self, rng):
+        w = rng.standard_normal((32, 32))
+        p, orig = pad_to_tiles(w, (16, 16))
+        assert p is w
+        assert orig == (32, 32)
+
+    def test_pads_up(self):
+        w = np.ones((30, 17))
+        p, orig = pad_to_tiles(w, (16, 16))
+        assert p.shape == (32, 32)
+        assert orig == (30, 17)
+        assert p[30:].sum() == 0 and p[:, 17:].sum() == 0

@@ -1,0 +1,99 @@
+"""Calibration harness: evaluates the paper's anchor observables.
+
+Run after changing cost-model constants; compares against the published
+targets. Not part of the library — a development tool.
+
+Targets (from the paper):
+  T1  TensorRT BERT encoder @128       ~160 us
+  T2  PyTorch / TensorRT               ~4.0x
+  T3  FasterTransformer / TensorRT     ~0.74x
+  T4  TRT / E.T.(AA,95%)               ~3.4x
+  T5  FT / E.T.(AA,95%)                ~2.5x
+  T6  PT / E.T.(AA,95%)                ~13.7x
+  T7  TRT-attn / best-OTF @128 BERT    ~3.3x  (avg 64..256)
+  T8  crossover seqlen                 208..256
+  T9  OTF achieved BW @128             ~311 GB/s
+  T10 TRT attention steps achieved BW  ~98 GB/s
+  T11 tile-GEMM speedup @95%, d=768    ~3.5x
+  T12 full/partial OTF @64             ~1.5x
+"""
+
+import numpy as np
+
+from repro.config import BERT_BASE
+from repro.gpu import Timeline
+from repro.ops.context import fp16_ctx
+from repro.ops import ExecContext, gemm, GemmAlgo, tile_gemm
+from repro.attention import (fused_attention, otf_attention,
+                             partial_otf_attention, otf_crossover_seqlen)
+from repro.runtime import (EncoderWeights, ETEngine, TensorRTLikeEngine,
+                           PyTorchLikeEngine, FasterTransformerLikeEngine)
+from repro.pruning import PruneMethod
+from repro.tensor import TileBCSR
+from repro.pruning.masks import tile_mask
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((128, 768))
+    dense = EncoderWeights.random(BERT_BASE, rng, num_layers=1)
+    t_pt = PyTorchLikeEngine(dense).run(x).latency_us
+    t_trt = TensorRTLikeEngine(dense).run(x).latency_us
+    t_ft = FasterTransformerLikeEngine(dense).run(x).latency_us
+    t_et_dense = ETEngine(dense).run(x).latency_us
+
+    w95 = EncoderWeights.random(BERT_BASE, np.random.default_rng(1),
+                                num_layers=1).prune(PruneMethod.ATTENTION_AWARE, 0.95)
+    t_et95 = ETEngine(w95).run(x).latency_us
+
+    print(f"T1 trt encoder      {t_trt:7.1f}  (target ~160)")
+    print(f"T2 pt/trt           {t_pt / t_trt:7.2f}  (target ~4.0)")
+    print(f"T3 ft/trt           {t_ft / t_trt:7.2f}  (target ~0.74)")
+    print(f"T4 trt/et95         {t_trt / t_et95:7.2f}  (target ~3.4)")
+    print(f"T5 ft/et95          {t_ft / t_et95:7.2f}  (target ~2.5)")
+    print(f"T6 pt/et95          {t_pt / t_et95:7.2f}  (target ~13.7)")
+    print(f"    [et dense {t_et_dense:.1f}, et95 {t_et95:.1f}, pt {t_pt:.0f}]")
+
+    # attention-only comparison, BERT geometry, with mask
+    H, dk = 12, 64
+    speeds = []
+    for s in (64, 128, 192, 256):
+        q, k, v = (rng.standard_normal((H, s, dk)) for _ in range(3))
+        mask = np.zeros((s, s))
+        tl = Timeline(); fused_attention(fp16_ctx(tl), q, k, v, mask); t_f = tl.total_time_us
+        tl = Timeline(); otf_attention(fp16_ctx(tl), q, k, v, mask); t_o = tl.total_time_us
+        tl = Timeline(); partial_otf_attention(fp16_ctx(tl), q, k, v, mask); t_p = tl.total_time_us
+        speeds.append(t_f / min(t_o, t_p))
+        if s == 64:
+            fp64_ratio = t_p / t_o
+        if s == 128:
+            tl = Timeline()
+            ctx = fp16_ctx(tl)
+            otf_attention(ctx, q, k, v, mask)
+            bw_otf = tl.achieved_bw_gbs
+            tl2 = Timeline()
+            fused_attention(fp16_ctx(tl2), q, k, v, mask)
+            bw_trt = tl2.achieved_bw_gbs
+    print(f"T7 trt/otf avg      {np.mean(speeds):7.2f}  (target ~3.3)  per-s={['%.2f'%v for v in speeds]}")
+    tl = Timeline()
+    co = otf_crossover_seqlen(fp16_ctx(tl), H, dk, with_mask=True)
+    print(f"T8 crossover        {co}  (target 208..256)")
+    print(f"T9 otf bw           {bw_otf:7.1f}  (target ~311)")
+    print(f"T10 trt attn bw     {bw_trt:7.1f}  (target ~98)")
+    print(f"T12 full/part @64   {fp64_ratio:7.2f}  (target ~1.5)")
+
+    # T11: tile gemm vs dense ALGO5 at 95%, (128 x 768) @ (768 x 768)
+    wt = rng.standard_normal((768, 768))
+    m95 = tile_mask(wt, 0.95)
+    fmt = TileBCSR.from_dense(wt * m95)
+    tl = Timeline(); ctx = fp16_ctx(tl)
+    gemm(ctx, x, wt.T, GemmAlgo.ALGO5_TENSOR_OP)
+    t_dense = tl.total_time_us
+    tl = Timeline(); ctx = fp16_ctx(tl)
+    tile_gemm(ctx, x, fmt)
+    t_tile = tl.total_time_us
+    print(f"T11 tile95 speedup  {t_dense / t_tile:7.2f}  (target ~3.5)")
+
+
+if __name__ == "__main__":
+    main()
