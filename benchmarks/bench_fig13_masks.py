@@ -5,8 +5,6 @@ tensor-tile pruned; (b) irregular; (c) column; (d) tensor-tile. The rendered
 masks show the structural signature of each method.
 """
 
-import numpy as np
-
 from repro.eval.accuracy_exp import fig13_masks
 
 from _util import emit, once

@@ -12,7 +12,7 @@ paper-scale Transformer (L=2, d_model=800, H=4).
 
 import numpy as np
 
-from repro.eval.accuracy_exp import SMALL, Scale, fig14_transformer
+from repro.eval.accuracy_exp import Scale, fig14_transformer
 from repro.eval.format import render_table
 
 from _util import emit, once

@@ -1,0 +1,57 @@
+"""Serving bench — arrival rate × bucket policy on the virtual-time scheduler.
+
+Not a paper figure: this sweeps the ISSUE-1 serving layer. Expectations the
+table should show:
+
+- higher arrival rates fill batches (mean batch size grows toward
+  ``--max-batch``) and raise tail latency once the worker pool saturates;
+- finer crossover-aligned bucket policies trade batch fullness for less
+  length spread inside a batch; every policy keeps the full/partial-OTF
+  regimes unmixed (the crossover is always a bucket edge).
+"""
+
+from repro.eval.format import render_table
+from repro.serving import LoadgenSpec, run_loadgen
+
+from _util import emit, once
+
+RATES = (200.0, 1000.0, 5000.0)
+POLICIES = ("single", "fine32", "fine64")
+
+
+def _sweep():
+    rows = []
+    for rate in RATES:
+        for policy in POLICIES:
+            spec = LoadgenSpec(
+                engine="et", model="small", rate_per_s=rate,
+                num_requests=120, seed=0, max_seq_len=64, seq_step=16,
+                policy=policy, workers=2, max_batch=8,
+                max_wait_us=2_000.0, max_depth=64,
+            )
+            m = run_loadgen(spec).metrics.snapshot()
+            # nothing is ever lost: served + shed = issued
+            assert m["completed"] + m["rejected"] == spec.num_requests
+            rows.append([
+                rate, policy,
+                m["p50_latency_us"], m["p95_latency_us"],
+                m["p99_latency_us"], m["mean_batch_size"],
+                m["throughput_seq_s"], int(m["rejected"]),
+            ])
+    return rows
+
+
+def test_bench_serving(benchmark):
+    rows = once(benchmark, _sweep)
+    emit("serving_rate_x_policy",
+         render_table(["rate req/s", "policy", "p50 us", "p95 us", "p99 us",
+                       "mean batch", "seq/s", "rejected"],
+                      rows, title="Serving — arrival rate × bucket policy"))
+
+    by_rate = {r: [row for row in rows if row[0] == r] for r in RATES}
+    # saturating load must batch more than trickle load (any policy)
+    assert max(row[5] for row in by_rate[RATES[-1]]) > \
+        max(row[5] for row in by_rate[RATES[0]])
+    # every cell served real traffic
+    for row in rows:
+        assert row[6] > 0.0  # throughput seq/s

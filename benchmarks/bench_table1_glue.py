@@ -18,7 +18,6 @@ import pytest
 
 from repro.eval.accuracy_exp import SMALL, table1
 from repro.eval.format import render_table
-from repro.pruning import PruneMethod
 
 from _util import emit, once
 

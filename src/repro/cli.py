@@ -1,4 +1,4 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner and serving entry points.
 
 Regenerate any of the paper's tables/figures from the shell::
 
@@ -10,6 +10,16 @@ Regenerate any of the paper's tables/figures from the shell::
 
 Training experiments (fig14, table1) accept ``--scale tiny|bench|small`` to
 trade fidelity for runtime.
+
+Serving (ISSUE 1)::
+
+    python -m repro loadgen --engine et --rate 50 --requests 200 --seed 0
+    python -m repro loadgen --mode closed --clients 8
+    python -m repro serve --requests 64 --serve-workers 2
+
+``loadgen`` replays a seeded open-loop (Poisson) or closed-loop workload on
+the deterministic virtual-time scheduler — same seed, same report.
+``serve`` runs the same pipeline behind the thread-backed async server.
 """
 
 from __future__ import annotations
@@ -187,9 +197,97 @@ def cmd_table1(args) -> str:
                       f"Table 1 — {args.model}")
 
 
+# --------------------------------------------------------------------------
+# serving commands
+# --------------------------------------------------------------------------
+
+
+def _loadgen_spec(args):
+    from repro.serving import LoadgenSpec
+
+    return LoadgenSpec(
+        engine=args.engine, model=args.model, rate_per_s=args.rate,
+        num_requests=args.requests, seed=args.seed, mode=args.mode,
+        clients=args.clients, num_layers=args.layers,
+        sparsity=args.sparsity, max_seq_len=args.max_len,
+        seq_step=args.seq_step, policy=args.policy,
+        workers=args.serve_workers, max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us, max_depth=args.max_depth,
+    )
+
+
+def cmd_loadgen(args) -> str:
+    """Deterministic load generation on the virtual-time scheduler."""
+    from repro.serving import run_loadgen
+
+    return run_loadgen(_loadgen_spec(args)).report
+
+
+def cmd_serve(args) -> str:
+    """Self-driving demo of the thread-backed async server.
+
+    Builds one engine per worker thread over shared weights, pushes the
+    seeded workload through ``submit`` (blocking briefly on backpressure)
+    and prints the same metrics block as ``loadgen``. Queue times are wall
+    clock here, so this command is a smoke/demo path, not a benchmark.
+    """
+    import numpy as np
+
+    from repro.eval.format import percentile_rows
+    from repro.serving import (
+        AsyncServer,
+        QueueFullError,
+        build_engine,
+        make_policy,
+        model_crossover,
+    )
+    from repro.serving.loadgen import build_payloads
+
+    spec = _loadgen_spec(args)
+    cfg = spec.model_config()
+    engines = [build_engine(spec) for _ in range(spec.workers)]
+    payloads = build_payloads(spec)
+    crossover = model_crossover(cfg.num_heads, cfg.d_head, max(payloads),
+                                device=engines[0].device)
+    policy = make_policy(spec.policy, crossover, max(payloads))
+    rng = np.random.default_rng(spec.seed + 1)
+    lens = list(payloads)
+    chosen = rng.choice(len(lens), size=spec.num_requests)
+
+    server = AsyncServer(engines, policy, max_batch=spec.max_batch,
+                         max_wait_us=spec.max_wait_us,
+                         max_depth=spec.max_depth)
+    futures = []
+    with server:
+        for i in range(spec.num_requests):
+            x = payloads[lens[chosen[i]]]
+            while True:
+                try:
+                    futures.append(server.submit(x))
+                    break
+                except QueueFullError:
+                    time.sleep(0.001)  # backpressure: retry shortly
+        responses = [f.result(timeout=60.0) for f in futures]
+
+    m = server.metrics
+    rows = [
+        ["engine", spec.engine],
+        ["workers", spec.workers],
+        ["bucket policy", f"{policy.name} (crossover={crossover})"],
+        ["completed", sum(r.ok for r in responses)],
+        ["rejected", m.rejected],
+    ]
+    rows += percentile_rows(m.latencies_us) if m.latencies_us else []
+    rows += [["mean batch size", m.mean_batch_size],
+             ["max queue depth", m.max_queue_depth]]
+    return _fmt_table(["metric", "value"], rows,
+                      f"serve — {spec.engine} / {spec.model} (live threads)")
+
+
 LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13")
 ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
+SERVING_CMDS = ("serve", "loadgen")
 
 
 def cmd_all(args) -> str:
@@ -207,17 +305,57 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the experiment-runner argument parser."""
     p = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the E.T. paper's tables and figures.",
+        description="Regenerate the E.T. paper's tables and figures, "
+                    "or serve traffic (serve / loadgen).",
     )
     p.add_argument("experiment",
-                   choices=list(ALL_CMDS) + ["all", "list"],
-                   help="which experiment to run")
+                   choices=list(ALL_CMDS) + list(SERVING_CMDS)
+                   + ["all", "list"],
+                   help="which experiment or serving command to run")
     p.add_argument("--model", default="BERT_BASE",
-                   choices=["BERT_BASE", "Transformer", "DistilBERT"],
-                   help="model for fig8/table1")
+                   choices=["BERT_BASE", "Transformer", "DistilBERT",
+                            "small"],
+                   help="model for fig8/table1/serve/loadgen "
+                        "('small' is serving-only)")
     p.add_argument("--scale", default="bench",
                    choices=["tiny", "bench", "small"],
                    help="training scale for fig14/table1")
+
+    s = p.add_argument_group("serving (serve/loadgen)")
+    s.add_argument("--engine", default="et",
+                   choices=["et", "tensorrt", "fastertransformer",
+                            "pytorch"],
+                   help="engine under load")
+    s.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop arrival rate, requests per second")
+    s.add_argument("--requests", type=int, default=200,
+                   help="total requests to issue")
+    s.add_argument("--seed", type=int, default=0,
+                   help="workload and weights seed")
+    s.add_argument("--mode", default="open", choices=["open", "closed"],
+                   help="open loop (Poisson) or closed loop (clients)")
+    s.add_argument("--clients", type=int, default=4,
+                   help="closed-loop concurrent clients")
+    s.add_argument("--layers", type=int, default=1,
+                   help="encoder layers for the serving engine")
+    s.add_argument("--sparsity", type=float, default=0.8,
+                   help="attention-aware pruning ratio for --engine et")
+    s.add_argument("--max-len", type=int, default=320, dest="max_len",
+                   help="longest admissible sequence length")
+    s.add_argument("--seq-step", type=int, default=32, dest="seq_step",
+                   help="granularity of workload sequence lengths")
+    s.add_argument("--bucket-policy", default="fine64", dest="policy",
+                   choices=["single", "fine32", "fine64"],
+                   help="crossover-aligned bucket policy")
+    s.add_argument("--serve-workers", type=int, default=2,
+                   dest="serve_workers", help="engine workers in the pool")
+    s.add_argument("--max-batch", type=int, default=8, dest="max_batch",
+                   help="largest batch one dispatch may carry")
+    s.add_argument("--max-wait-us", type=float, default=2000.0,
+                   dest="max_wait_us",
+                   help="longest a request may wait for batchmates (us)")
+    s.add_argument("--max-depth", type=int, default=64, dest="max_depth",
+                   help="queue depth before admission control rejects")
     return p
 
 
@@ -226,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("experiments:", ", ".join(ALL_CMDS), "+ 'all'")
+        print("serving:", ", ".join(SERVING_CMDS))
         return 0
     fn = cmd_all if args.experiment == "all" else globals()[f"cmd_{args.experiment}"]
     print(fn(args))

@@ -9,6 +9,12 @@
 - :mod:`repro.eval.format` — fixed-width table rendering for bench output.
 """
 
-from repro.eval.metrics import accuracy, f1_binary, spearman, glue_metric
+from repro.eval.metrics import (
+    accuracy,
+    f1_binary,
+    glue_metric,
+    percentile,
+    spearman,
+)
 
-__all__ = ["accuracy", "f1_binary", "spearman", "glue_metric"]
+__all__ = ["accuracy", "f1_binary", "spearman", "glue_metric", "percentile"]

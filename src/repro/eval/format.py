@@ -29,6 +29,23 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     return "\n".join(lines)
 
 
+def percentile_rows(samples: Sequence[float],
+                    ps: Sequence[float] = (50.0, 95.0, 99.0),
+                    unit: str = "us") -> list[list[object]]:
+    """Latency-percentile table rows shared by the CLI and the benches.
+
+    Returns ``[["p50 (us)", v], ...]`` ready to splice into
+    :func:`render_table`, so every serving report formats its percentile
+    block identically instead of re-deriving it in place.
+    """
+    from repro.eval.metrics import percentile
+
+    def plabel(p: float) -> str:
+        return f"p{p:g}"
+
+    return [[f"{plabel(p)} ({unit})", percentile(samples, p)] for p in ps]
+
+
 def render_series(label: str, xs: Sequence[object], ys: Sequence[float],
                   unit: str = "") -> str:
     """One-line series rendering: ``label: x1=y1 x2=y2 …``."""

@@ -41,6 +41,30 @@ def spearman(pred: np.ndarray, target: np.ndarray) -> float:
     return float(rho) if np.isfinite(rho) else 0.0
 
 
+def percentile(samples, p: float) -> float:
+    """Linear-interpolation percentile of a sample set (``0 <= p <= 100``).
+
+    The serving layer's latency reporting (p50/p95/p99) goes through this
+    one implementation so the CLI, the metrics registry and the benchmarks
+    all agree on the math: sort the samples, place ``p`` on the continuous
+    rank scale ``[0, n-1]``, and interpolate between the two nearest order
+    statistics.
+    """
+    xs = np.asarray(list(samples), dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    xs = np.sort(xs)
+    rank = (p / 100.0) * (xs.size - 1)
+    lo = int(np.floor(rank))
+    hi = int(np.ceil(rank))
+    if lo == hi:
+        return float(xs[lo])
+    frac = rank - lo
+    return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+
+
 def glue_metric(metric: str, pred: np.ndarray, target: np.ndarray) -> float:
     """Dispatch on a task's metric name; returns a score in [0, 1]."""
     if metric == "accuracy":

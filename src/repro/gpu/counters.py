@@ -102,6 +102,20 @@ class Timeline:
         """An empty timeline on the same device (for what-if comparisons)."""
         return Timeline(self.device)
 
+    def merge(self, other: "Timeline") -> None:
+        """Append another timeline's records (serial concatenation).
+
+        Used by :meth:`repro.runtime.engine.Engine.run_batch` to aggregate the
+        per-sequence timelines of one batch into a single stream: the cost
+        model is single-stream, so batch time is the sum of member times.
+        """
+        if other.device is not self.device and other.device != self.device:
+            raise ValueError(
+                f"cannot merge timelines across devices: "
+                f"{self.device.name} vs {other.device.name}"
+            )
+        self.records.extend(other.records)
+
     # ---- aggregate counters ----------------------------------------------
 
     def __len__(self) -> int:

@@ -431,7 +431,6 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     out_data = xhat * gamma.data + beta.data
 
     def backward(g: np.ndarray) -> None:
-        n = x.shape[-1]
         if gamma.requires_grad:
             gamma._accumulate(
                 _unbroadcast(g * xhat, gamma.shape)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -74,9 +75,56 @@ class Engine:
                 y = self.run_layer(ctx, y, i, mask, choices)
         return EngineResult(output=y, timeline=tl, choices=choices)
 
-    def latency_us(self, seq_len: int, mask: np.ndarray | None = None,
-                   seed: int = 0) -> float:
-        """Model latency for a random input of the given sequence length."""
-        rng = np.random.default_rng(seed)
-        x = rng.standard_normal((seq_len, self.weights.config.d_model))
+    def run_batch(
+        self,
+        xs: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray | None] | None = None,
+    ) -> tuple[list[EngineResult], Timeline]:
+        """Run a batch of sequences; the serving batcher's only engine API.
+
+        Validates every input shape up front (so a malformed request cannot
+        fail the batch half-way through), runs each sequence through
+        :meth:`run`, and returns the per-request results plus one aggregated
+        :class:`Timeline` whose total time is the batch's service time on the
+        cost model's serial stream.
+        """
+        d_model = self.weights.config.d_model
+        xs = [np.asarray(x, dtype=np.float64) for x in xs]
+        if masks is not None and len(masks) != len(xs):
+            raise ValueError(
+                f"got {len(xs)} inputs but {len(masks)} masks"
+            )
+        for i, x in enumerate(xs):
+            if x.ndim != 2 or x.shape[1] != d_model:
+                raise ValueError(
+                    f"batch item {i}: expected (s, {d_model}) input, "
+                    f"got {x.shape}"
+                )
+        agg = Timeline(self.device)
+        results = []
+        for i, x in enumerate(xs):
+            res = self.run(x, masks[i] if masks is not None else None)
+            results.append(res)
+            agg.merge(res.timeline)
+        return results, agg
+
+    def latency_us(self, seq_len: int | None = None,
+                   mask: np.ndarray | None = None, seed: int = 0,
+                   x: np.ndarray | None = None) -> float:
+        """Model latency for one input of the given sequence length.
+
+        Pass a pre-built ``x`` to avoid re-drawing RNG inputs per call — the
+        serving load generator builds one input per sequence length and
+        reuses it so repeated latency probes are deterministic and cheap.
+        Without ``x``, a random ``(seq_len, d_model)`` input is drawn.
+        """
+        if x is None:
+            if seq_len is None:
+                raise ValueError("need either seq_len or a pre-built x")
+            rng = np.random.default_rng(seed)
+            x = rng.standard_normal((seq_len, self.weights.config.d_model))
+        elif seq_len is not None and x.shape[0] != seq_len:
+            raise ValueError(
+                f"pre-built x has seq_len {x.shape[0]}, expected {seq_len}"
+            )
         return self.run(x, mask).latency_us

@@ -1,0 +1,52 @@
+"""Serving layer: async request queue, bucketed dynamic batching, load gen.
+
+The pipeline (ISSUE 1 / the ROADMAP's traffic-scaling track)::
+
+    Request --> RequestQueue --> DynamicBatcher --> EngineWorker pool
+    (admit / reject)   (length buckets aligned      (Engine.run_batch,
+                        to the OTF crossover)        cost-model service)
+
+Two drivers share every stage:
+
+- :class:`~repro.serving.scheduler.Scheduler` — deterministic virtual-time
+  simulation (the ``loadgen`` CLI and the serving benches).
+- :class:`~repro.serving.server.AsyncServer` — thread-backed futures API
+  (the ``serve`` CLI).
+"""
+
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.bucketing import BucketPolicy, make_policy, model_crossover
+from repro.serving.loadgen import (
+    LoadgenResult,
+    LoadgenSpec,
+    build_engine,
+    run_loadgen,
+)
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.queue import QueueClosedError, QueueFullError, RequestQueue
+from repro.serving.request import Request, Response, ResponseStatus
+from repro.serving.scheduler import EngineWorker, Scheduler, SchedulerConfig
+from repro.serving.server import AsyncServer
+
+__all__ = [
+    "AsyncServer",
+    "Batch",
+    "BucketPolicy",
+    "DynamicBatcher",
+    "EngineWorker",
+    "LoadgenResult",
+    "LoadgenSpec",
+    "MetricsRegistry",
+    "QueueClosedError",
+    "QueueFullError",
+    "Request",
+    "RequestQueue",
+    "Response",
+    "ResponseStatus",
+    "Scheduler",
+    "SchedulerConfig",
+    "build_engine",
+    "make_policy",
+    "model_crossover",
+    "run_loadgen",
+]

@@ -1,0 +1,233 @@
+"""Deterministic load generators and the ``loadgen`` experiment driver.
+
+Two traffic shapes, both seeded:
+
+- **open loop** — arrivals follow a Poisson process (exponential
+  inter-arrival times at ``--rate`` requests/s of virtual time),
+  independent of completions; the queue absorbs bursts and admission
+  control sheds load past ``max_depth``.
+- **closed loop** — ``--clients`` concurrent clients each keep exactly one
+  request outstanding, issuing the next upon completion (think time 0).
+
+Payloads are pre-built once per sequence length with the run's seed and
+shared by every request of that length, which (a) makes reports a pure
+function of the seed and (b) lets the worker memoize per-length results
+(:class:`~repro.serving.scheduler.EngineWorker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import BERT_BASE, DISTILBERT, TRANSFORMER_WT2, ModelConfig, \
+    small_config
+from repro.eval.format import percentile_rows, render_table
+from repro.pruning import PruneMethod
+from repro.runtime import (
+    EncoderWeights,
+    ETEngine,
+    FasterTransformerLikeEngine,
+    PyTorchLikeEngine,
+    TensorRTLikeEngine,
+)
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.bucketing import BucketPolicy, make_policy, model_crossover
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.request import Request, Response
+from repro.serving.scheduler import EngineWorker, Scheduler, SchedulerConfig
+
+ENGINE_CLASSES = {
+    "et": ETEngine,
+    "tensorrt": TensorRTLikeEngine,
+    "fastertransformer": FasterTransformerLikeEngine,
+    "pytorch": PyTorchLikeEngine,
+}
+
+MODEL_CONFIGS = {
+    "BERT_BASE": BERT_BASE,
+    "DistilBERT": DISTILBERT,
+    "Transformer": TRANSFORMER_WT2,
+}
+
+
+@dataclass
+class LoadgenSpec:
+    """Everything one loadgen run depends on (all of it seedable)."""
+
+    engine: str = "et"
+    model: str = "BERT_BASE"
+    rate_per_s: float = 50.0
+    num_requests: int = 200
+    seed: int = 0
+    mode: str = "open"  # "open" | "closed"
+    clients: int = 4  # closed-loop concurrency
+    num_layers: int = 1
+    sparsity: float = 0.8
+    max_seq_len: int = 320
+    seq_step: int = 32
+    policy: str = "fine64"
+    workers: int = 2
+    max_batch: int = 8
+    max_wait_us: float = 2_000.0
+    max_depth: int = 64
+
+    def model_config(self) -> ModelConfig:
+        if self.model == "small":
+            return small_config(name="serve-small", max_seq_len=64)
+        return MODEL_CONFIGS[self.model]
+
+
+@dataclass
+class LoadgenResult:
+    """One run's report: the metrics snapshot plus the rendered table."""
+
+    spec: LoadgenSpec
+    policy: BucketPolicy
+    crossover: int
+    responses: list[Response]
+    metrics: MetricsRegistry
+    report: str = field(default="", repr=False)
+
+
+def build_engine(spec: LoadgenSpec):
+    """The engine under load, seeded weights, pruned when it can exploit it."""
+    cfg = spec.model_config()
+    weights = EncoderWeights.random(
+        cfg, np.random.default_rng(spec.seed), spec.num_layers)
+    cls = ENGINE_CLASSES[spec.engine]
+    if spec.engine == "et" and spec.sparsity > 0.0:
+        weights.prune(PruneMethod.ATTENTION_AWARE, spec.sparsity)
+    return cls(weights)
+
+
+def sequence_lengths(spec: LoadgenSpec) -> list[int]:
+    """The admissible lengths: multiples of ``seq_step`` up to the max."""
+    cfg = spec.model_config()
+    hi = min(spec.max_seq_len, cfg.max_seq_len)
+    lens = list(range(spec.seq_step, hi + 1, spec.seq_step))
+    if not lens:
+        raise ValueError(
+            f"no admissible lengths below {hi} with step {spec.seq_step}")
+    return lens
+
+
+def build_payloads(spec: LoadgenSpec) -> dict[int, np.ndarray]:
+    """One shared ``(s, d_model)`` payload per admissible length."""
+    cfg = spec.model_config()
+    rng = np.random.default_rng(spec.seed)
+    return {s: rng.standard_normal((s, cfg.d_model))
+            for s in sequence_lengths(spec)}
+
+
+def open_loop_arrivals(spec: LoadgenSpec,
+                       payloads: dict[int, np.ndarray]) -> list[Request]:
+    """Poisson arrivals: seeded exponential gaps at ``rate_per_s``."""
+    if spec.rate_per_s <= 0:
+        raise ValueError(f"rate must be positive: {spec.rate_per_s}")
+    rng = np.random.default_rng(spec.seed + 1)  # decoupled from payload draw
+    lens = list(payloads)
+    gaps_us = rng.exponential(1e6 / spec.rate_per_s, size=spec.num_requests)
+    arrivals = np.cumsum(gaps_us)
+    chosen = rng.choice(len(lens), size=spec.num_requests)
+    return [
+        Request(rid=i, x=payloads[lens[chosen[i]]], arrival_us=float(arrivals[i]))
+        for i in range(spec.num_requests)
+    ]
+
+
+def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray]):
+    """Initial requests + follow-up callback for closed-loop load.
+
+    Each of ``spec.clients`` clients issues its next request the instant
+    the previous one terminates (served or rejected); the request budget
+    is split round-robin across clients.
+    """
+    rng = np.random.default_rng(spec.seed + 1)
+    lens = list(payloads)
+    chosen = rng.choice(len(lens), size=spec.num_requests)
+    n_clients = max(1, min(spec.clients, spec.num_requests))
+    issued = [0] * n_clients  # per-client requests issued so far
+    budget = [spec.num_requests // n_clients] * n_clients
+    for c in range(spec.num_requests % n_clients):
+        budget[c] += 1
+
+    def make(client: int, rid: int, arrival_us: float) -> Request:
+        issued[client] += 1
+        return Request(rid=rid, x=payloads[lens[chosen[rid]]],
+                       arrival_us=arrival_us, client=client)
+
+    initial = [make(c, c, 0.0) for c in range(n_clients)]
+    next_rid = [n_clients]
+
+    def follow_up(resp: Response) -> Request | None:
+        client = resp.client
+        if issued[client] >= budget[client] or \
+                next_rid[0] >= spec.num_requests:
+            return None
+        rid = next_rid[0]
+        next_rid[0] += 1
+        return make(client, rid, resp.finish_us)
+
+    return initial, follow_up
+
+
+def run_loadgen(spec: LoadgenSpec) -> LoadgenResult:
+    """Execute one deterministic load-generation run and render its report."""
+    cfg = spec.model_config()
+    engine = build_engine(spec)
+    payloads = build_payloads(spec)
+    crossover = model_crossover(cfg.num_heads, cfg.d_head,
+                                max(payloads), device=engine.device)
+    policy = make_policy(spec.policy, crossover, max(payloads))
+    batcher = DynamicBatcher(policy, max_batch=spec.max_batch,
+                             max_wait_us=spec.max_wait_us)
+    workers = [EngineWorker(engine, memoize_by_len=True)
+               for _ in range(spec.workers)]
+    sched = Scheduler(
+        workers=workers, batcher=batcher,
+        config=SchedulerConfig(max_batch=spec.max_batch,
+                               max_wait_us=spec.max_wait_us,
+                               max_depth=spec.max_depth),
+    )
+    if spec.mode == "closed":
+        initial, follow_up = closed_loop_driver(spec, payloads)
+        responses = sched.run(initial, next_request=follow_up)
+    elif spec.mode == "open":
+        responses = sched.run(open_loop_arrivals(spec, payloads))
+    else:
+        raise ValueError(f"unknown mode {spec.mode!r}")
+
+    result = LoadgenResult(spec=spec, policy=policy, crossover=crossover,
+                           responses=responses, metrics=sched.metrics)
+    result.report = _render_report(result)
+    return result
+
+
+def _render_report(result: LoadgenResult) -> str:
+    """The loadgen report table (shared formatting with the benches)."""
+    m, spec = result.metrics, result.spec
+    rows: list[list[object]] = [
+        ["engine", spec.engine],
+        ["model", spec.model],
+        ["mode", spec.mode],
+        ["requests", spec.num_requests],
+        ["rate (req/s)" if spec.mode == "open" else "clients",
+         spec.rate_per_s if spec.mode == "open" else spec.clients],
+        ["bucket policy", f"{result.policy.name} "
+                          f"(crossover={result.crossover})"],
+        ["buckets", " ".join(result.policy.label(i)
+                             for i in range(result.policy.num_buckets))],
+    ]
+    rows += percentile_rows(m.latencies_us) if m.latencies_us else []
+    rows += [
+        ["mean batch size", m.mean_batch_size],
+        ["max queue depth", m.max_queue_depth],
+        ["throughput (seq/s)", m.throughput_seq_s],
+        ["completed", m.completed],
+        ["rejected", m.rejected],
+    ]
+    return render_table(
+        ["metric", "value"], rows,
+        title=f"loadgen — {spec.engine} / {spec.model}, seed {spec.seed}")

@@ -1,0 +1,191 @@
+"""Deterministic virtual-time scheduler over a pool of engine workers.
+
+The scheduler replays a stream of arrival-stamped requests on the cost
+model's clock: arrivals enter the queue (admission control may reject),
+the dynamic batcher forms same-bucket batches, and free workers execute
+them through :meth:`Engine.run_batch` — the batch's service time is the
+aggregated timeline's total. Everything is a pure function of the request
+stream and the configuration, so a seeded load generator yields an
+identical report on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.runtime.engine import Engine, EngineResult
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.queue import QueueFullError, RequestQueue
+from repro.serving.request import Request, Response, ResponseStatus
+
+
+class EngineWorker:
+    """One engine behind the batcher's ``run_batch`` API.
+
+    With ``memoize_by_len=True`` the worker caches each sequence length's
+    result the first time it runs it and reuses it afterwards. That is only
+    sound when callers guarantee one payload per length — the load
+    generator does exactly that (it pre-builds one input per length), which
+    turns a 200-request sweep into O(unique lengths) engine executions
+    without changing a single reported number.
+    """
+
+    def __init__(self, engine: Engine, memoize_by_len: bool = False) -> None:
+        self.engine = engine
+        self.memoize_by_len = memoize_by_len
+        self._cache: dict[int, EngineResult] = {}
+        self.batches_run = 0
+        self.busy_us = 0.0
+
+    def process(self, batch: Batch) -> tuple[list[EngineResult], float]:
+        """Run one batch; returns per-request results and service time (us)."""
+        reqs = batch.requests
+        if self.memoize_by_len:
+            missing = [r for r in reqs
+                       if r.seq_len not in self._cache and r.mask is None]
+            if missing:
+                todo = {r.seq_len: r for r in missing}
+                results, _ = self.engine.run_batch(
+                    [r.x for r in todo.values()])
+                for s, res in zip(todo, results):
+                    self._cache[s] = res
+            results = []
+            for r in reqs:
+                if r.mask is None:
+                    results.append(self._cache[r.seq_len])
+                else:  # masked requests are never cacheable by length
+                    results.append(self.engine.run(r.x, r.mask))
+            service_us = sum(res.timeline.total_time_us for res in results)
+        else:
+            results, agg = self.engine.run_batch(
+                [r.x for r in reqs], [r.mask for r in reqs])
+            service_us = agg.total_time_us
+        self.batches_run += 1
+        self.busy_us += service_us
+        return results, service_us
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of one serving run."""
+
+    max_batch: int = 8
+    max_wait_us: float = 2_000.0
+    max_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_depth <= 0:
+            raise ValueError(f"max_depth must be positive: {self.max_depth}")
+
+
+@dataclass
+class Scheduler:
+    """Event-driven simulation of queue → batcher → worker pool."""
+
+    workers: Sequence[EngineWorker]
+    batcher: DynamicBatcher
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("need at least one worker")
+
+    def run(
+        self,
+        arrivals: Sequence[Request],
+        next_request: Callable[[Response], Request | None] | None = None,
+    ) -> list[Response]:
+        """Simulate a request stream to completion; returns all responses.
+
+        ``next_request`` enables closed-loop load: called with every
+        terminal response, it may return the issuing client's next request
+        (with a future ``arrival_us``), which joins the stream.
+        """
+        queue = RequestQueue(max_depth=self.config.max_depth)
+        pending: list[tuple[float, int, Request]] = [
+            (r.arrival_us, r.rid, r) for r in arrivals
+        ]
+        heapq.heapify(pending)
+        free_us = [0.0] * len(self.workers)
+        responses: list[Response] = []
+
+        def admit(now_us: float) -> None:
+            while pending and pending[0][0] <= now_us:
+                _, _, req = heapq.heappop(pending)
+                self.metrics.observe_queue_depth(queue.depth)
+                try:
+                    queue.put(req)
+                except QueueFullError:
+                    resp = Response.rejected(req, req.arrival_us)
+                    self.metrics.observe_response(resp)
+                    responses.append(resp)
+                    if next_request is not None:
+                        follow = next_request(resp)
+                        if follow is not None:
+                            heapq.heappush(
+                                pending,
+                                (follow.arrival_us, follow.rid, follow))
+
+        def dispatch(now_us: float) -> None:
+            # Workers take batches in index order; batch choice itself is
+            # deterministic (oldest-first), so the whole step is replayable.
+            for w_idx in range(len(self.workers)):
+                if free_us[w_idx] > now_us or queue.depth == 0:
+                    continue
+                flush = not pending  # no future arrivals can join a bucket
+                batch = self.batcher.pop_batch(queue, now_us, flush=flush)
+                if batch is None:
+                    continue
+                self._execute(batch, self.workers[w_idx], w_idx, now_us,
+                              free_us, responses, pending, next_request)
+
+        now = 0.0
+        while pending or queue.depth:
+            admit(now)
+            dispatch(now)
+            # Next decision point: an arrival, a worker freeing up, or a
+            # pending bucket crossing its batching deadline.
+            candidates = []
+            if pending:
+                candidates.append(pending[0][0])
+            if queue.depth:
+                deadline = self.batcher.next_deadline_us(queue)
+                if deadline is not None:
+                    candidates.append(deadline)
+                candidates.extend(f for f in free_us if f > now)
+            future = [t for t in candidates if t > now]
+            if not future:
+                if queue.depth:  # overdue work, worker free: loop again now
+                    continue
+                break
+            now = min(future)
+        return sorted(responses, key=lambda r: r.rid)
+
+    def _execute(self, batch: Batch, worker: EngineWorker, w_idx: int,
+                 now_us: float, free_us: list[float],
+                 responses: list[Response], pending: list, next_request
+                 ) -> None:
+        results, service_us = worker.process(batch)
+        start = max(now_us, free_us[w_idx])
+        finish = start + service_us
+        free_us[w_idx] = finish
+        self.metrics.observe_batch(batch.size)
+        for req, res in zip(batch.requests, results):
+            resp = Response(
+                rid=req.rid, status=ResponseStatus.OK,
+                arrival_us=req.arrival_us, start_us=start, finish_us=finish,
+                service_us=service_us, batch_id=batch.batch_id,
+                batch_size=batch.size, bucket=batch.bucket,
+                seq_len=req.seq_len, client=req.client, output=res.output,
+            )
+            self.metrics.observe_response(resp)
+            responses.append(resp)
+            if next_request is not None:
+                follow = next_request(resp)
+                if follow is not None:
+                    heapq.heappush(
+                        pending, (follow.arrival_us, follow.rid, follow))

@@ -1,0 +1,164 @@
+"""Thread-backed asynchronous serving front end.
+
+:class:`AsyncServer` is the live counterpart of the deterministic
+scheduler: ``submit`` stamps a request, admission-controls it into the
+shared :class:`RequestQueue` and returns a future; a pool of worker
+threads forms length-bucketed batches with the same
+:class:`DynamicBatcher` policy object and executes them through
+``Engine.run_batch``. Queueing time is wall clock (threads really wait),
+service time stays in cost-model microseconds — the simulated GPU is the
+resource being scheduled, the host threads only coordinate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.runtime.engine import Engine
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.bucketing import BucketPolicy
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.queue import RequestQueue
+from repro.serving.request import Request, Response, ResponseStatus
+from repro.serving.scheduler import EngineWorker
+
+
+class AsyncServer:
+    """Futures-based serving loop over a pool of engine worker threads."""
+
+    def __init__(
+        self,
+        engines: list[Engine],
+        policy: BucketPolicy,
+        max_batch: int = 8,
+        max_wait_us: float = 2_000.0,
+        max_depth: int = 64,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self.policy = policy
+        self.metrics = MetricsRegistry()
+        self._queue = RequestQueue(max_depth=max_depth)
+        self._batcher = DynamicBatcher(policy, max_batch=max_batch,
+                                       max_wait_us=max_wait_us)
+        self._workers = [EngineWorker(e) for e in engines]
+        self._work = threading.Condition()
+        self._futures: dict[int, Future] = {}
+        self._next_rid = 0
+        self._running = False
+        self._t0 = time.monotonic()
+        self._threads: list[threading.Thread] = []
+
+    # ---- lifecycle --------------------------------------------------------
+
+    def start(self) -> "AsyncServer":
+        """Spawn one thread per engine worker."""
+        if self._running:
+            raise RuntimeError("server already started")
+        self._running = True
+        self._t0 = time.monotonic()
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(w,),
+                             name=f"serve-worker-{i}", daemon=True)
+            for i, w in enumerate(self._workers)
+        ]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` they finish everything queued."""
+        with self._work:
+            self._running = False
+            self._work.notify_all()
+        for t in self._threads:
+            t.join()
+        self._threads = []
+        if not drain:
+            for req in self._queue.drain():
+                fut = self._futures.pop(req.rid, None)
+                if fut is not None:
+                    resp = Response.rejected(req, self._now_us())
+                    self.metrics.observe_response(resp)
+                    fut.set_result(resp)
+        self._queue.close()
+
+    def __enter__(self) -> "AsyncServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ---- client API -------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+    def submit(self, x: np.ndarray, priority: int = 0,
+               mask: np.ndarray | None = None) -> "Future[Response]":
+        """Enqueue one sequence; raises :class:`QueueFullError` when full.
+
+        The returned future resolves to the request's :class:`Response`
+        when its batch completes.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self.policy.bucket_of(int(x.shape[0]))  # reject oversize up front
+        fut: Future[Response] = Future()
+        with self._work:
+            if not self._running:
+                raise RuntimeError("server is not running")
+            rid = self._next_rid
+            self._next_rid += 1
+            req = Request(rid=rid, x=x, arrival_us=self._now_us(),
+                          priority=priority, mask=mask)
+            self.metrics.observe_queue_depth(self._queue.depth)
+            self._queue.put(req)  # QueueFullError propagates to the caller
+            self._futures[rid] = fut
+            self._work.notify()
+        return fut
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth."""
+        return self._queue.depth
+
+    # ---- worker loop ------------------------------------------------------
+
+    def _worker_loop(self, worker: EngineWorker) -> None:
+        while True:
+            with self._work:
+                batch = None
+                while batch is None:
+                    now = self._now_us()
+                    batch = self._batcher.pop_batch(
+                        self._queue, now, flush=not self._running)
+                    if batch is not None:
+                        break
+                    if not self._running:
+                        return  # drained
+                    deadline = self._batcher.next_deadline_us(self._queue)
+                    timeout = None if deadline is None else max(
+                        1e-4, (deadline - now) / 1e6)
+                    self._work.wait(timeout)
+            start = self._now_us()
+            results, service_us = worker.process(batch)
+            finish = start + service_us
+            self.metrics.observe_batch(batch.size)
+            for req, res in zip(batch.requests, results):
+                resp = Response(
+                    rid=req.rid, status=ResponseStatus.OK,
+                    arrival_us=req.arrival_us, start_us=start,
+                    finish_us=finish, service_us=service_us,
+                    batch_id=batch.batch_id, batch_size=batch.size,
+                    bucket=batch.bucket, seq_len=req.seq_len,
+                    client=req.client, output=res.output,
+                )
+                with self._work:
+                    fut = self._futures.pop(req.rid, None)
+                    self.metrics.observe_response(resp)
+                if fut is not None:
+                    fut.set_result(resp)

@@ -1,12 +1,10 @@
 """GPU device spec, kernel cost model and timeline counters."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import (
     A100,
     V100S,
-    DeviceSpec,
     KernelCost,
     MemPattern,
     Timeline,

@@ -3,14 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.config import small_config
 from repro.nn import (
     AdamW,
     Dropout,
     Embedding,
-    Encoder,
     EncoderClassifier,
-    EncoderLayer,
     LayerNorm,
     Linear,
     Module,
@@ -26,7 +23,6 @@ from repro.nn import (
     clip_grad_norm,
     positional_encoding,
 )
-from repro.nn import autograd as ag
 from repro.nn.models import causal_mask
 
 

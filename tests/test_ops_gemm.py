@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gpu import Timeline, V100S
+from repro.gpu import Timeline
 from repro.ops import GemmAlgo, batched_gemm, gemm, gemm_bias_act, gemm_efficiency
 from repro.ops.context import fp16_ctx, fp32_ctx
 from repro.ops.elementwise import gelu

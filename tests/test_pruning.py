@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.config import small_config
 from repro.nn import TrainConfig, Trainer, TransformerLM
 from repro.pruning import (
-    AttentionAwarePlan,
     MatrixRole,
     PruneMethod,
     ReweightedGroupLasso,

@@ -337,9 +337,8 @@ class TestRoofline:
     def test_ridge_point_near_paper_138(self):
         """V100S FP16 ridge: 130 TFLOP/s / 1134 GB/s ~ 115 FLOP/B (the
         paper's guide [36] quotes 138 for slightly different peaks)."""
-        from repro.gpu import V100S, KernelCost
+        from repro.gpu import V100S
 
-        k = KernelCost("k", flops=1.0, bytes_loaded=1.0)
         ridge = V100S.peak_flops(True) / (V100S.peak_bw_gbs * 1e9)
         assert 100 <= ridge <= 140
 
