@@ -20,6 +20,18 @@ Serving (ISSUE 1)::
 ``loadgen`` replays a seeded open-loop (Poisson) or closed-loop workload on
 the deterministic virtual-time scheduler — same seed, same report.
 ``serve`` runs the same pipeline behind the thread-backed async server.
+
+Observability (ISSUE 2)::
+
+    python -m repro loadgen --trace-out trace.json --metrics-out metrics.prom
+    python -m repro serve --trace-out trace.json --metrics-out metrics.prom
+    python -m repro trace --engine et --seq-len 128
+
+``--trace-out`` writes a Chrome ``trace_event`` JSON (open in
+chrome://tracing or Perfetto) with the request → batch → layer → kernel
+span chain; ``--metrics-out`` writes a Prometheus text exposition.
+``trace`` runs one request and pretty-prints the span tree with per-span
+profiling-counter rollups.
 """
 
 from __future__ import annotations
@@ -216,11 +228,38 @@ def _loadgen_spec(args):
     )
 
 
+def _make_tracer(args):
+    """A live tracer when ``--trace-out`` was given, else the null tracer."""
+    from repro.obs import NULL_TRACER, Tracer
+
+    return Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
+
+
+def _write_observability(args, tracer, metrics) -> list[str]:
+    """Write ``--trace-out`` / ``--metrics-out`` files; returns notes."""
+    from repro.obs import write_chrome_trace, write_prometheus
+
+    notes = []
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(args.trace_out, tracer)
+        notes.append(f"[trace written to {args.trace_out} — "
+                     "open in chrome://tracing or ui.perfetto.dev]")
+    if getattr(args, "metrics_out", None):
+        write_prometheus(args.metrics_out, metrics)
+        notes.append(f"[metrics written to {args.metrics_out} — "
+                     "Prometheus text exposition]")
+    return notes
+
+
 def cmd_loadgen(args) -> str:
     """Deterministic load generation on the virtual-time scheduler."""
     from repro.serving import run_loadgen
 
-    return run_loadgen(_loadgen_spec(args)).report
+    tracer = _make_tracer(args)
+    result = run_loadgen(_loadgen_spec(args), tracer=tracer)
+    out = [result.report]
+    out += _write_observability(args, tracer, result.metrics)
+    return "\n".join(out)
 
 
 def cmd_serve(args) -> str:
@@ -254,9 +293,10 @@ def cmd_serve(args) -> str:
     lens = list(payloads)
     chosen = rng.choice(len(lens), size=spec.num_requests)
 
+    tracer = _make_tracer(args)
     server = AsyncServer(engines, policy, max_batch=spec.max_batch,
                          max_wait_us=spec.max_wait_us,
-                         max_depth=spec.max_depth)
+                         max_depth=spec.max_depth, tracer=tracer)
     futures = []
     with server:
         for i in range(spec.num_requests):
@@ -280,14 +320,50 @@ def cmd_serve(args) -> str:
     rows += percentile_rows(m.latencies_us) if m.latencies_us else []
     rows += [["mean batch size", m.mean_batch_size],
              ["max queue depth", m.max_queue_depth]]
-    return _fmt_table(["metric", "value"], rows,
-                      f"serve — {spec.engine} / {spec.model} (live threads)")
+    out = [_fmt_table(["metric", "value"], rows,
+                      f"serve — {spec.engine} / {spec.model} (live threads)")]
+    out += _write_observability(args, tracer, m)
+    return "\n".join(out)
+
+
+def cmd_trace(args) -> str:
+    """Run one request and pretty-print its span tree with counter rollups.
+
+    The span hierarchy (request → service → layer → step → kernel) is the
+    same one ``--trace-out`` exports; each interior span shows the rollup of
+    the Fig. 11/12 counters over the kernels it covers.
+    """
+    import numpy as np
+
+    from repro.obs import Span, engine_spans, render_span_tree
+    from repro.serving import build_engine
+
+    spec = _loadgen_spec(args)
+    cfg = spec.model_config()
+    seq_len = min(args.seq_len, cfg.max_seq_len)
+    engine = build_engine(spec)
+    rng = np.random.default_rng(spec.seed)
+    x = rng.standard_normal((seq_len, cfg.d_model))
+    res = engine.run(x)
+
+    root = Span(name="request0", kind="request", start_us=0.0,
+                end_us=res.latency_us,
+                attrs={"rid": 0, "seq_len": seq_len, "engine": engine.name})
+    service = root.child("service", "phase", 0.0, res.latency_us)
+    engine_spans(res.timeline, service, res.choices)
+    lines = [
+        f"trace — {spec.engine} / {spec.model}, seq_len {seq_len}, "
+        f"{res.timeline.num_kernels} kernels, {res.latency_us:.1f} us",
+        "",
+        render_span_tree(root),
+    ]
+    return "\n".join(lines)
 
 
 LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13")
 ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
-SERVING_CMDS = ("serve", "loadgen")
+SERVING_CMDS = ("serve", "loadgen", "trace")
 
 
 def cmd_all(args) -> str:
@@ -356,6 +432,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="longest a request may wait for batchmates (us)")
     s.add_argument("--max-depth", type=int, default=64, dest="max_depth",
                    help="queue depth before admission control rejects")
+
+    o = p.add_argument_group("observability (serve/loadgen/trace)")
+    o.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run "
+                        "(chrome://tracing / Perfetto)")
+    o.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="FILE",
+                   help="write a Prometheus text exposition of the run's "
+                        "metrics")
+    o.add_argument("--seq-len", type=int, default=128, dest="seq_len",
+                   help="sequence length for the 'trace' command")
     return p
 
 

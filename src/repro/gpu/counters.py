@@ -16,7 +16,7 @@ aggregate counters reproduce the measurements of Figs. 11–12:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.gpu.device import DeviceSpec, default_device
 from repro.gpu.kernel import KernelCost, MemPattern
@@ -52,6 +52,18 @@ class KernelRecord:
     def tag(self) -> str:
         """The kernel's phase tag."""
         return self.cost.tag
+
+    def sm_efficiency(self, device: DeviceSpec) -> float:
+        """This launch's SM busy fraction (launch gap counted as idle).
+
+        The per-kernel counterpart of :attr:`Timeline.sm_efficiency`; the
+        tracer attaches it to kernel spans (Fig. 11(c) per launch).
+        """
+        if self.time_us == 0.0:
+            return 0.0
+        busy = self.exec_time_us * min(1.0, self.cost.ctas / device.num_sms) \
+            * _PATTERN_OCCUPANCY[self.cost.mem_pattern]
+        return busy / self.time_us
 
 
 class Timeline:
@@ -102,19 +114,30 @@ class Timeline:
         """An empty timeline on the same device (for what-if comparisons)."""
         return Timeline(self.device)
 
-    def merge(self, other: "Timeline") -> None:
+    def merge(self, other: "Timeline", prefix: str | None = None) -> None:
         """Append another timeline's records (serial concatenation).
 
         Used by :meth:`repro.runtime.engine.Engine.run_batch` to aggregate the
         per-sequence timelines of one batch into a single stream: the cost
         model is single-stream, so batch time is the sum of member times.
+
+        ``prefix`` wraps the incoming records in an enclosing region label
+        (e.g. ``"request0"``), so a merged batch timeline keeps per-member
+        provenance: ``time_by_region`` and the tracer can attribute each
+        kernel to the request that launched it.
         """
         if other.device is not self.device and other.device != self.device:
             raise ValueError(
                 f"cannot merge timelines across devices: "
                 f"{self.device.name} vs {other.device.name}"
             )
-        self.records.extend(other.records)
+        if prefix is None:
+            self.records.extend(other.records)
+            return
+        self.records.extend(
+            replace(r, region=f"{prefix}/{r.region}" if r.region else prefix)
+            for r in other.records
+        )
 
     # ---- aggregate counters ----------------------------------------------
 

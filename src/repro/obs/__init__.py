@@ -1,0 +1,51 @@
+"""Observability: span tracing, Chrome-trace export, Prometheus exposition.
+
+Unifies the repo's two telemetry islands — per-kernel
+:class:`~repro.gpu.counters.Timeline` records inside one engine run, and
+the serving layer's end-of-run :class:`~repro.serving.metrics.MetricsRegistry`
+snapshot — into one hierarchical trace::
+
+    request ── queue_wait / service ── layer ── step ── kernel
+
+and two standard export formats:
+
+- **Chrome ``trace_event`` JSON** (:func:`write_chrome_trace`) — load the
+  file in chrome://tracing or https://ui.perfetto.dev; kernel spans carry
+  the Fig. 11/12 profiling counters, counter tracks show queue depth and
+  achieved GB/s.
+- **Prometheus text exposition** (:func:`prometheus_text`) — whole-run
+  registry aggregates plus the rolling-window gauges of
+  :class:`WindowedMetrics` (live p50/p95/p99, EWMA throughput, per-bucket
+  batch-size histograms).
+
+Tracing is opt-in: every traced component defaults to :data:`NULL_TRACER`,
+whose ``enabled`` flag keeps the hot path allocation-free, so the cost
+model's reported numbers are identical with tracing off.
+"""
+
+from repro.obs.chrome import chrome_trace, chrome_trace_json, write_chrome_trace
+from repro.obs.prometheus import prometheus_text, write_prometheus
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    engine_spans,
+    render_span_tree,
+)
+from repro.obs.windowed import WindowedMetrics
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "WindowedMetrics",
+    "chrome_trace",
+    "chrome_trace_json",
+    "engine_spans",
+    "prometheus_text",
+    "render_span_tree",
+    "write_chrome_trace",
+    "write_prometheus",
+]

@@ -1,0 +1,117 @@
+"""Prometheus text-exposition rendering of the serving metrics.
+
+One function, :func:`prometheus_text`, renders a
+:class:`~repro.serving.metrics.MetricsRegistry` (and the
+:class:`~repro.obs.windowed.WindowedMetrics` it feeds) in the Prometheus
+text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers,
+``name{labels} value`` samples, stable series names and label order — so
+scrapes diff cleanly run to run and ``tools/check_trace.py`` can validate
+the output structurally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.metrics import MetricsRegistry
+
+
+def _fmt(value: float) -> str:
+    """Deterministic sample formatting (integers stay integral)."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.10g}"
+
+
+class _Writer:
+    def __init__(self, namespace: str) -> None:
+        self.ns = namespace
+        self.lines: list[str] = []
+
+    def series(self, name: str, kind: str, help_text: str,
+               samples: list[tuple[str, float]]) -> None:
+        full = f"{self.ns}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        for labels, value in samples:
+            self.lines.append(f"{full}{labels} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def prometheus_text(metrics: "MetricsRegistry",
+                    namespace: str = "repro") -> str:
+    """Render the registry + its window as a Prometheus exposition page."""
+    w = _Writer(namespace)
+    snap = metrics.snapshot()
+    w.series("requests_completed_total", "counter",
+             "Requests served to completion.",
+             [("", snap["completed"])])
+    w.series("requests_rejected_total", "counter",
+             "Requests shed by admission control.",
+             [("", snap["rejected"])])
+    w.series("served_tokens_total", "counter",
+             "Sum of served sequence lengths.",
+             [("", float(metrics.served_seq_tokens))])
+    w.series("latency_us", "summary",
+             "End-to-end request latency percentiles (whole run).",
+             [('{quantile="0.5"}', snap["p50_latency_us"]),
+              ('{quantile="0.95"}', snap["p95_latency_us"]),
+              ('{quantile="0.99"}', snap["p99_latency_us"])])
+    w.series("queue_wait_us_mean", "gauge",
+             "Mean time between arrival and dispatch (whole run).",
+             [("", snap["mean_queue_us"])])
+    w.series("batch_size_mean", "gauge",
+             "Mean dispatched batch size.",
+             [("", snap["mean_batch_size"])])
+    w.series("queue_depth_max", "gauge",
+             "Deepest queue observed at an admission.",
+             [("", snap["max_queue_depth"])])
+    w.series("makespan_us", "gauge",
+             "First arrival to last terminal event on the driver clock.",
+             [("", snap["makespan_us"])])
+    w.series("throughput_seq_s", "gauge",
+             "Served sequences per second of driver-clock time.",
+             [("", snap["throughput_seq_s"])])
+
+    win = metrics.window
+    wsnap = win.snapshot()
+    w.series("window_latency_us", "summary",
+             "Request latency percentiles over the rolling window.",
+             [('{quantile="0.5"}', wsnap["window_p50_latency_us"]),
+              ('{quantile="0.95"}', wsnap["window_p95_latency_us"]),
+              ('{quantile="0.99"}', wsnap["window_p99_latency_us"])])
+    w.series("window_requests", "gauge",
+             "Completions inside the rolling window.",
+             [("", wsnap["window_count"])])
+    w.series("window_queue_wait_us_mean", "gauge",
+             "Mean queue wait over the rolling window.",
+             [("", wsnap["window_mean_queue_us"])])
+    w.series("throughput_ewma_seq_s", "gauge",
+             "EWMA of the instantaneous completion rate.",
+             [("", wsnap["ewma_throughput_seq_s"])])
+
+    # Histogram series follow the _bucket/_sum/_count naming convention.
+    full = f"{namespace}_batch_size"
+    w.lines.append(f"# HELP {full} "
+                   "Dispatched batch sizes per sequence-length bucket.")
+    w.lines.append(f"# TYPE {full} histogram")
+    for bucket in sorted(win.batch_hist):
+        for le, count in win.hist_cumulative(bucket):
+            w.lines.append(
+                f'{full}_bucket{{bucket="{bucket}",le="{le}"}} {count}')
+        w.lines.append(f'{full}_sum{{bucket="{bucket}"}} '
+                       f"{_fmt(win.batch_sum.get(bucket, 0))}")
+        w.lines.append(f'{full}_count{{bucket="{bucket}"}} '
+                       f"{_fmt(win.batch_count.get(bucket, 0))}")
+    return w.text()
+
+
+def write_prometheus(path: str, metrics: "MetricsRegistry",
+                     namespace: str = "repro") -> None:
+    """Write one exposition page to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(prometheus_text(metrics, namespace))

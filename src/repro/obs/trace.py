@@ -1,0 +1,236 @@
+"""Hierarchical span tracer linking serving requests to engine kernels.
+
+The span hierarchy mirrors the path one request takes through the system::
+
+    request ── queue_wait / service          (driver clock: Scheduler/AsyncServer)
+                  └─ layer{i}                (engine clock: Timeline regions)
+                        └─ step (kernel tag group)
+                              └─ kernel      (one KernelRecord + its counters)
+
+plus one ``batch`` span per dispatch on the owning worker's track. Every
+kernel span carries the Fig. 11/12 profiling counters of its
+:class:`~repro.gpu.counters.KernelRecord` as attributes (gld/gst
+transactions, sm_efficiency, achieved GB/s), so a slow p99 request can be
+traced down to the exact kernels and their memory behaviour.
+
+The default tracer everywhere is :data:`NULL_TRACER`: call sites guard span
+construction with ``tracer.enabled``, so the hot path pays one attribute
+read when tracing is off and the cost model's reported numbers are
+byte-identical with and without a live tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import KernelRecord, Timeline
+
+
+@dataclass
+class Span:
+    """One named interval with attributes and child spans."""
+
+    name: str
+    kind: str  # "request" | "phase" | "batch" | "layer" | "step" | "kernel"
+    start_us: float
+    end_us: float
+    attrs: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        """The span's wall time on its driver's clock."""
+        return self.end_us - self.start_us
+
+    def child(self, name: str, kind: str, start_us: float, end_us: float,
+              attrs: dict[str, object] | None = None) -> "Span":
+        """Create and attach one child span."""
+        sp = Span(name=name, kind=kind, start_us=start_us, end_us=end_us,
+                  attrs=attrs or {})
+        self.children.append(sp)
+        return sp
+
+    def shift(self, dt_us: float) -> "Span":
+        """Rebase this subtree by ``dt_us`` (engine time -> driver time)."""
+        self.start_us += dt_us
+        self.end_us += dt_us
+        for c in self.children:
+            c.shift(dt_us)
+        return self
+
+    def walk(self):
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def rollup(self) -> dict[str, float]:
+        """Aggregate kernel counters over this subtree.
+
+        Returns kernel count, summed kernel wall time and gld/gst
+        transactions, and the time-weighted mean sm_efficiency / aggregate
+        achieved bandwidth of the covered kernels.
+        """
+        kernels = [s for s in self.walk() if s.kind == "kernel"]
+        time_us = sum(k.duration_us for k in kernels)
+        out = {
+            "kernels": float(len(kernels)),
+            "kernel_time_us": time_us,
+            "gld_transactions": float(
+                sum(k.attrs.get("gld_transactions", 0) for k in kernels)),
+            "gst_transactions": float(
+                sum(k.attrs.get("gst_transactions", 0) for k in kernels)),
+        }
+        bytes_total = sum(k.attrs.get("bytes", 0.0) for k in kernels)
+        exec_us = sum(k.attrs.get("exec_time_us", 0.0) for k in kernels)
+        out["achieved_gbs"] = bytes_total / exec_us / 1e3 if exec_us else 0.0
+        out["sm_efficiency"] = (
+            sum(k.attrs.get("sm_efficiency", 0.0) * k.duration_us
+                for k in kernels) / time_us if time_us else 0.0)
+        return out
+
+
+class Tracer:
+    """Collects root spans and counter-track samples for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.counters: dict[str, list[tuple[float, float]]] = {}
+
+    def span(self, name: str, kind: str, start_us: float, end_us: float,
+             attrs: dict[str, object] | None = None) -> Span:
+        """Open-and-close one root span (driver clocks are synchronous)."""
+        sp = Span(name=name, kind=kind, start_us=start_us, end_us=end_us,
+                  attrs=attrs or {})
+        self.roots.append(sp)
+        return sp
+
+    def counter(self, track: str, ts_us: float, value: float) -> None:
+        """Append one sample to a named counter track (queue depth, GB/s)."""
+        self.counters.setdefault(track, []).append((ts_us, float(value)))
+
+    def spans_of_kind(self, kind: str) -> list[Span]:
+        """Every recorded span of one kind, in recording order."""
+        return [s for r in self.roots for s in r.walk() if s.kind == kind]
+
+
+class NullTracer(Tracer):
+    """The default no-op tracer: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - no storage at all
+        pass
+
+    def span(self, name, kind, start_us, end_us, attrs=None) -> Span:
+        return _NULL_SPAN
+
+    def counter(self, track, ts_us, value) -> None:
+        return None
+
+    def spans_of_kind(self, kind) -> list[Span]:
+        return []
+
+
+#: Shared do-nothing tracer; the default for every traced component.
+NULL_TRACER = NullTracer()
+#: Sink span handed out by :class:`NullTracer` (children are discarded).
+_NULL_SPAN = Span(name="null", kind="null", start_us=0.0, end_us=0.0)
+
+
+def _kernel_attrs(rec: KernelRecord, device) -> dict[str, object]:
+    """The Fig. 11/12 counters of one kernel record, as span attributes."""
+    return {
+        "tag": rec.tag,
+        "gld_transactions": rec.cost.gld_transactions(device),
+        "gst_transactions": rec.cost.gst_transactions(device),
+        "sm_efficiency": rec.sm_efficiency(device),
+        "achieved_gbs": rec.cost.achieved_bw_gbs(device),
+        "bytes": rec.cost.bytes_total,
+        "flops": rec.cost.flops,
+        "exec_time_us": rec.exec_time_us,
+        "memory_bound": rec.cost.is_memory_bound(device),
+    }
+
+
+def engine_spans(timeline: Timeline, parent: Span,
+                 choices: dict[str, str] | None = None,
+                 t0_us: float = 0.0) -> float:
+    """Attach one engine run's kernel tree under ``parent``.
+
+    The cost model's stream is serial, so kernels are laid end to end from
+    ``t0_us``; the timeline's nested region labels (``layer{i}``, and
+    ``request{i}/layer{j}`` after :meth:`Engine.run_batch` merging) become
+    nested spans, with one extra ``step`` level grouping consecutive
+    same-tag kernels (the paper's attention steps ①–⑦). Returns the cursor
+    after the last kernel.
+    """
+    choices = choices or {}
+    cursor = t0_us
+    stack: list[tuple[str, Span]] = []  # (region segment, open span)
+    step: Span | None = None
+    for rec in timeline.records:
+        path = [p for p in rec.region.split("/") if p] if rec.region else []
+        # close region spans that the new record is no longer inside
+        keep = 0
+        while keep < len(stack) and keep < len(path) \
+                and stack[keep][0] == path[keep]:
+            keep += 1
+        for _, sp in reversed(stack[keep:]):
+            sp.end_us = cursor
+        if len(stack) > keep:
+            step = None
+        del stack[keep:]
+        # open the new record's region spans
+        for seg in path[len(stack):]:
+            owner = stack[-1][1] if stack else parent
+            kind = "layer" if seg.startswith("layer") else "region"
+            attrs: dict[str, object] = {}
+            impl = choices.get(f"{seg}.attention")
+            if impl is not None:
+                attrs["attention"] = impl
+            sp = owner.child(seg, kind, cursor, cursor, attrs)
+            stack.append((seg, sp))
+            step = None
+        owner = stack[-1][1] if stack else parent
+        tag = rec.tag or rec.name
+        if step is None or step.name != tag:
+            step = owner.child(tag, "step", cursor, cursor)
+        step.child(rec.name, "kernel", cursor, cursor + rec.time_us,
+                   _kernel_attrs(rec, timeline.device))
+        cursor += rec.time_us
+        step.end_us = cursor
+    for _, sp in reversed(stack):
+        sp.end_us = cursor
+    return cursor
+
+
+def render_span_tree(span: Span, indent: str = "") -> str:
+    """Pretty-print one span subtree with per-span counter rollups.
+
+    Kernel leaves print their own counters; interior spans print the rollup
+    of the kernels they cover. Used by ``python -m repro trace``.
+    """
+    lines = []
+    if span.kind == "kernel":
+        a = span.attrs
+        lines.append(
+            f"{indent}{span.name:<24} {span.duration_us:9.2f} us  "
+            f"gld={a['gld_transactions']:<8} gst={a['gst_transactions']:<7} "
+            f"sm_eff={a['sm_efficiency']:.2f} bw={a['achieved_gbs']:.1f} GB/s")
+    else:
+        r = span.rollup()
+        extra = "".join(
+            f" {k}={v}" for k, v in span.attrs.items()
+            if k in ("attention", "rid", "seq_len", "bucket", "engine"))
+        lines.append(
+            f"{indent}{span.name} [{span.kind}] {span.duration_us:.2f} us  "
+            f"({int(r['kernels'])} kernels, gld={int(r['gld_transactions'])},"
+            f" gst={int(r['gst_transactions'])},"
+            f" sm_eff={r['sm_efficiency']:.2f},"
+            f" bw={r['achieved_gbs']:.1f} GB/s){extra}")
+        for c in span.children:
+            lines.append(render_span_tree(c, indent + "  "))
+    return "\n".join(lines)

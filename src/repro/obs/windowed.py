@@ -1,0 +1,116 @@
+"""Rolling-window serving metrics: live percentiles, EWMA throughput.
+
+:class:`~repro.serving.metrics.MetricsRegistry` accumulates whole-run
+aggregates; this layer answers the live-scrape questions a Prometheus
+endpoint needs — "what is p99 *right now*", "what is the current
+throughput" — by keeping only the observations inside a sliding time
+window plus an exponentially weighted completion-rate estimate. All
+timestamps are microseconds on whichever clock the driver uses, same as
+the registry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.eval.metrics import percentile
+
+#: Cumulative batch-size histogram edges (``le`` labels, Prometheus-style).
+BATCH_SIZE_LES = (1, 2, 4, 8, 16)
+
+
+class WindowedMetrics:
+    """Sliding-window latency/queue stats and an EWMA throughput gauge."""
+
+    def __init__(self, window_us: float = 1_000_000.0,
+                 ewma_alpha: float = 0.2) -> None:
+        if window_us <= 0:
+            raise ValueError(f"window_us must be positive: {window_us}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1]: {ewma_alpha}")
+        self.window_us = window_us
+        self.ewma_alpha = ewma_alpha
+        self._lat: deque[tuple[float, float]] = deque()
+        self._queue: deque[tuple[float, float]] = deque()
+        self._now_us = 0.0
+        self._last_completion_us: float | None = None
+        self.ewma_throughput_seq_s = 0.0
+        # per-bucket batch-size histograms (cumulative, whole-run)
+        self.batch_hist: dict[int, Counter[int]] = {}
+        self.batch_sum: dict[int, int] = {}
+        self.batch_count: dict[int, int] = {}
+
+    # ---- observation ------------------------------------------------------
+
+    def _advance(self, ts_us: float) -> None:
+        self._now_us = max(self._now_us, ts_us)
+        horizon = self._now_us - self.window_us
+        for dq in (self._lat, self._queue):
+            while dq and dq[0][0] < horizon:
+                dq.popleft()
+
+    def observe_request(self, ts_us: float, latency_us: float,
+                        queue_us: float) -> None:
+        """Record one completed request at its finish time."""
+        self._advance(ts_us)
+        self._lat.append((ts_us, latency_us))
+        self._queue.append((ts_us, queue_us))
+        if self._last_completion_us is not None:
+            gap = ts_us - self._last_completion_us
+            inst = 1e6 / gap if gap > 0 else self.ewma_throughput_seq_s
+            if self.ewma_throughput_seq_s == 0.0:
+                self.ewma_throughput_seq_s = inst
+            else:
+                self.ewma_throughput_seq_s = (
+                    self.ewma_alpha * inst
+                    + (1.0 - self.ewma_alpha) * self.ewma_throughput_seq_s)
+        self._last_completion_us = max(
+            self._last_completion_us or 0.0, ts_us)
+
+    def observe_batch(self, ts_us: float, size: int, bucket: int) -> None:
+        """Record one dispatched batch into its bucket's size histogram."""
+        self._advance(ts_us)
+        self.batch_hist.setdefault(bucket, Counter())[size] += 1
+        self.batch_sum[bucket] = self.batch_sum.get(bucket, 0) + size
+        self.batch_count[bucket] = self.batch_count.get(bucket, 0) + 1
+
+    # ---- aggregates -------------------------------------------------------
+
+    @property
+    def window_count(self) -> int:
+        """Completions currently inside the window."""
+        return len(self._lat)
+
+    def latency_percentile_us(self, p: float) -> float:
+        """Latency percentile over the window (0.0 when empty)."""
+        if not self._lat:
+            return 0.0
+        return percentile([v for _, v in self._lat], p)
+
+    @property
+    def mean_queue_us(self) -> float:
+        """Mean queue wait over the window (0.0 when empty)."""
+        if not self._queue:
+            return 0.0
+        return sum(v for _, v in self._queue) / len(self._queue)
+
+    def hist_cumulative(self, bucket: int) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` rows for one bucket."""
+        counts = self.batch_hist.get(bucket, Counter())
+        rows, acc = [], 0
+        for le in BATCH_SIZE_LES:
+            acc = sum(c for s, c in counts.items() if s <= le)
+            rows.append((str(le), acc))
+        rows.append(("+Inf", sum(counts.values())))
+        return rows
+
+    def snapshot(self) -> dict[str, float]:
+        """The window's gauges as one flat dict (stable key set)."""
+        out = {
+            "window_count": float(self.window_count),
+            "window_mean_queue_us": self.mean_queue_us,
+            "ewma_throughput_seq_s": self.ewma_throughput_seq_s,
+        }
+        for p in (50.0, 95.0, 99.0):
+            out[f"window_p{p:g}_latency_us"] = self.latency_percentile_us(p)
+        return out

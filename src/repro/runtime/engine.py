@@ -86,7 +86,10 @@ class Engine:
         fail the batch half-way through), runs each sequence through
         :meth:`run`, and returns the per-request results plus one aggregated
         :class:`Timeline` whose total time is the batch's service time on the
-        cost model's serial stream.
+        cost model's serial stream. Each member's records are wrapped in a
+        ``request{i}`` region on merge, so the aggregate keeps per-request
+        provenance (``time_by_region`` yields ``request0/layer1`` labels and
+        batch traces attribute kernels to requests).
         """
         d_model = self.weights.config.d_model
         xs = [np.asarray(x, dtype=np.float64) for x in xs]
@@ -105,7 +108,7 @@ class Engine:
         for i, x in enumerate(xs):
             res = self.run(x, masks[i] if masks is not None else None)
             results.append(res)
-            agg.merge(res.timeline)
+            agg.merge(res.timeline, prefix=f"request{i}")
         return results, agg
 
     def latency_us(self, seq_len: int | None = None,

@@ -12,6 +12,10 @@ Two drivers share every stage:
   simulation (the ``loadgen`` CLI and the serving benches).
 - :class:`~repro.serving.server.AsyncServer` — thread-backed futures API
   (the ``serve`` CLI).
+
+Both drivers accept a :class:`~repro.obs.trace.Tracer` to collect the
+request → batch → layer → kernel span tree (see :mod:`repro.obs`); the
+default :class:`~repro.obs.trace.NullTracer` keeps the hot path unchanged.
 """
 
 from repro.serving.batcher import Batch, DynamicBatcher

@@ -24,6 +24,7 @@ import numpy as np
 from repro.config import BERT_BASE, DISTILBERT, TRANSFORMER_WT2, ModelConfig, \
     small_config
 from repro.eval.format import percentile_rows, render_table
+from repro.obs.trace import NullTracer, Tracer
 from repro.pruning import PruneMethod
 from repro.runtime import (
     EncoderWeights,
@@ -173,8 +174,15 @@ def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray]):
     return initial, follow_up
 
 
-def run_loadgen(spec: LoadgenSpec) -> LoadgenResult:
-    """Execute one deterministic load-generation run and render its report."""
+def run_loadgen(spec: LoadgenSpec,
+                tracer: Tracer | None = None) -> LoadgenResult:
+    """Execute one deterministic load-generation run and render its report.
+
+    Pass a :class:`~repro.obs.trace.Tracer` to collect the run's span tree
+    (request → batch → layer → kernel); with the default ``None`` the
+    scheduler keeps its zero-overhead :class:`NullTracer` and the report is
+    byte-identical to an untraced run — tracing is observational only.
+    """
     cfg = spec.model_config()
     engine = build_engine(spec)
     payloads = build_payloads(spec)
@@ -190,6 +198,7 @@ def run_loadgen(spec: LoadgenSpec) -> LoadgenResult:
         config=SchedulerConfig(max_batch=spec.max_batch,
                                max_wait_us=spec.max_wait_us,
                                max_depth=spec.max_depth),
+        tracer=tracer if tracer is not None else NullTracer(),
     )
     if spec.mode == "closed":
         initial, follow_up = closed_loop_driver(spec, payloads)

@@ -4,6 +4,12 @@ All times are microseconds on the driver's clock (virtual cost-model time in
 the deterministic scheduler). Percentile math is delegated to
 :func:`repro.eval.metrics.percentile` so the registry, the CLI tables and
 the benches agree bit-for-bit.
+
+Every observation is also forwarded incrementally into a
+:class:`~repro.obs.windowed.WindowedMetrics` layer (rolling-window
+percentiles, EWMA throughput, per-bucket batch-size histograms), which is
+what the Prometheus exposition renders for live scraping — the registry's
+own aggregates remain whole-run.
 """
 
 from __future__ import annotations
@@ -11,13 +17,14 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.eval.metrics import percentile
+from repro.obs.windowed import WindowedMetrics
 from repro.serving.request import Response
 
 
 class MetricsRegistry:
     """Accumulates per-request and per-batch observations for one run."""
 
-    def __init__(self) -> None:
+    def __init__(self, window: WindowedMetrics | None = None) -> None:
         self.latencies_us: list[float] = []
         self.queue_us: list[float] = []
         self.service_us: list[float] = []
@@ -27,6 +34,7 @@ class MetricsRegistry:
         self.completed = 0
         self.rejected = 0
         self.served_seq_tokens = 0
+        self.window = window or WindowedMetrics()
         self._first_arrival_us: float | None = None
         self._last_finish_us = 0.0
 
@@ -37,6 +45,9 @@ class MetricsRegistry:
         if self._first_arrival_us is None or \
                 resp.arrival_us < self._first_arrival_us:
             self._first_arrival_us = resp.arrival_us
+        # Rejections are terminal events too: a run ending in a rejection
+        # burst must extend the makespan, or throughput_seq_s is skewed.
+        self._last_finish_us = max(self._last_finish_us, resp.finish_us)
         if not resp.ok:
             self.rejected += 1
             return
@@ -45,12 +56,15 @@ class MetricsRegistry:
         self.latencies_us.append(resp.latency_us)
         self.queue_us.append(resp.queue_us)
         self.service_us.append(resp.service_us)
-        self._last_finish_us = max(self._last_finish_us, resp.finish_us)
+        self.window.observe_request(resp.finish_us, resp.latency_us,
+                                    resp.queue_us)
 
-    def observe_batch(self, size: int) -> None:
-        """Record one dispatched batch's size."""
+    def observe_batch(self, size: int, bucket: int = -1,
+                      ts_us: float = 0.0) -> None:
+        """Record one dispatched batch's size (and bucket, for the window)."""
         self.batch_sizes.append(size)
         self.batch_hist[size] += 1
+        self.window.observe_batch(ts_us, size, bucket)
 
     def observe_queue_depth(self, depth: int) -> None:
         """Sample the queue depth (taken at each admission)."""
@@ -76,7 +90,7 @@ class MetricsRegistry:
 
     @property
     def makespan_us(self) -> float:
-        """First arrival to last completion on the driver's clock."""
+        """First arrival to last terminal event on the driver's clock."""
         if self._first_arrival_us is None:
             return 0.0
         return self._last_finish_us - self._first_arrival_us
@@ -90,7 +104,12 @@ class MetricsRegistry:
         return self.completed / (span / 1e6)
 
     def snapshot(self) -> dict[str, float]:
-        """The report counters as one flat dict (tests and benches)."""
+        """The report counters as one flat dict (tests and benches).
+
+        The key set is stable regardless of traffic: percentile and queue
+        keys are present with 0.0 defaults even when nothing completed, so
+        JSON consumers and run-to-run diffs always see the same schema.
+        """
         out: dict[str, float] = {
             "completed": float(self.completed),
             "rejected": float(self.rejected),
@@ -99,8 +118,9 @@ class MetricsRegistry:
             "makespan_us": self.makespan_us,
             "throughput_seq_s": self.throughput_seq_s,
         }
-        if self.latencies_us:
-            for p in (50.0, 95.0, 99.0):
-                out[f"p{p:g}_latency_us"] = self.latency_percentile_us(p)
-            out["mean_queue_us"] = sum(self.queue_us) / len(self.queue_us)
+        for p in (50.0, 95.0, 99.0):
+            out[f"p{p:g}_latency_us"] = (
+                self.latency_percentile_us(p) if self.latencies_us else 0.0)
+        out["mean_queue_us"] = (
+            sum(self.queue_us) / len(self.queue_us) if self.queue_us else 0.0)
         return out

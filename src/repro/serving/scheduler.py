@@ -15,11 +15,55 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.trace import NullTracer, Tracer, engine_spans
 from repro.runtime.engine import Engine, EngineResult
 from repro.serving.batcher import Batch, DynamicBatcher
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.queue import QueueFullError, RequestQueue
 from repro.serving.request import Request, Response, ResponseStatus
+
+
+def trace_batch(tracer: Tracer, batch: Batch, engine_name: str, w_idx: int,
+                start_us: float, finish_us: float,
+                results: Sequence[EngineResult]) -> None:
+    """Record one dispatched batch into ``tracer``.
+
+    Opens the ``batch`` span on the worker's track and, per member, a
+    ``request`` span with its ``queue_wait``/``service`` phases; the
+    member's engine timeline (layers → steps → kernels) is laid serially
+    inside the batch window, which is exactly how the single-stream cost
+    model spends the service time. Shared by the virtual-time scheduler
+    and the thread-backed server.
+    """
+    tracer.span(f"batch{batch.batch_id}", "batch", start_us, finish_us, {
+        "batch_id": batch.batch_id, "bucket": batch.bucket,
+        "size": batch.size, "worker": w_idx, "engine": engine_name,
+    })
+    cursor = start_us
+    for req, res in zip(batch.requests, results):
+        regimes = sorted(set(res.choices.values()))
+        sp = tracer.span(f"request{req.rid}", "request", req.arrival_us,
+                         finish_us, {
+                             "rid": req.rid, "seq_len": req.seq_len,
+                             "bucket": batch.bucket,
+                             "batch_id": batch.batch_id,
+                             "batch_size": batch.size,
+                             "engine": engine_name, "client": req.client,
+                             "otf_regime": "/".join(regimes),
+                             "status": "ok",
+                         })
+        sp.child("queue_wait", "phase", req.arrival_us, start_us)
+        service = sp.child("service", "phase", start_us, finish_us,
+                           {"batch_id": batch.batch_id})
+        cursor = engine_spans(res.timeline, service, res.choices, cursor)
+
+
+def trace_rejection(tracer: Tracer, req: Request, now_us: float) -> None:
+    """Record one admission-control rejection as a zero-length span."""
+    tracer.span(f"request{req.rid}", "request", req.arrival_us, now_us, {
+        "rid": req.rid, "seq_len": req.seq_len, "client": req.client,
+        "status": "rejected",
+    })
 
 
 class EngineWorker:
@@ -89,6 +133,7 @@ class Scheduler:
     batcher: DynamicBatcher
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=NullTracer)
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -117,11 +162,16 @@ class Scheduler:
             while pending and pending[0][0] <= now_us:
                 _, _, req = heapq.heappop(pending)
                 self.metrics.observe_queue_depth(queue.depth)
+                if self.tracer.enabled:
+                    self.tracer.counter("queue_depth", req.arrival_us,
+                                        queue.depth)
                 try:
                     queue.put(req)
                 except QueueFullError:
                     resp = Response.rejected(req, req.arrival_us)
                     self.metrics.observe_response(resp)
+                    if self.tracer.enabled:
+                        trace_rejection(self.tracer, req, req.arrival_us)
                     responses.append(resp)
                     if next_request is not None:
                         follow = next_request(resp)
@@ -173,7 +223,10 @@ class Scheduler:
         start = max(now_us, free_us[w_idx])
         finish = start + service_us
         free_us[w_idx] = finish
-        self.metrics.observe_batch(batch.size)
+        self.metrics.observe_batch(batch.size, batch.bucket, start)
+        if self.tracer.enabled:
+            trace_batch(self.tracer, batch, worker.engine.name, w_idx,
+                        start, finish, results)
         for req, res in zip(batch.requests, results):
             resp = Response(
                 rid=req.rid, status=ResponseStatus.OK,

@@ -18,13 +18,15 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from repro.obs.prometheus import prometheus_text
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.engine import Engine
 from repro.serving.batcher import DynamicBatcher
 from repro.serving.bucketing import BucketPolicy
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, Response, ResponseStatus
-from repro.serving.scheduler import EngineWorker
+from repro.serving.scheduler import EngineWorker, trace_batch
 
 
 class AsyncServer:
@@ -37,10 +39,12 @@ class AsyncServer:
         max_batch: int = 8,
         max_wait_us: float = 2_000.0,
         max_depth: int = 64,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if not engines:
             raise ValueError("need at least one engine")
         self.policy = policy
+        self.tracer = tracer
         self.metrics = MetricsRegistry()
         self._queue = RequestQueue(max_depth=max_depth)
         self._batcher = DynamicBatcher(policy, max_batch=max_batch,
@@ -62,7 +66,7 @@ class AsyncServer:
         self._running = True
         self._t0 = time.monotonic()
         self._threads = [
-            threading.Thread(target=self._worker_loop, args=(w,),
+            threading.Thread(target=self._worker_loop, args=(i, w),
                              name=f"serve-worker-{i}", daemon=True)
             for i, w in enumerate(self._workers)
         ]
@@ -116,6 +120,9 @@ class AsyncServer:
             req = Request(rid=rid, x=x, arrival_us=self._now_us(),
                           priority=priority, mask=mask)
             self.metrics.observe_queue_depth(self._queue.depth)
+            if self.tracer.enabled:
+                self.tracer.counter("queue_depth", req.arrival_us,
+                                    self._queue.depth)
             self._queue.put(req)  # QueueFullError propagates to the caller
             self._futures[rid] = fut
             self._work.notify()
@@ -126,9 +133,14 @@ class AsyncServer:
         """Current queue depth."""
         return self._queue.depth
 
+    def metrics_text(self) -> str:
+        """The live metrics as one Prometheus exposition page (scrapable)."""
+        with self._work:
+            return prometheus_text(self.metrics)
+
     # ---- worker loop ------------------------------------------------------
 
-    def _worker_loop(self, worker: EngineWorker) -> None:
+    def _worker_loop(self, w_idx: int, worker: EngineWorker) -> None:
         while True:
             with self._work:
                 batch = None
@@ -147,7 +159,11 @@ class AsyncServer:
             start = self._now_us()
             results, service_us = worker.process(batch)
             finish = start + service_us
-            self.metrics.observe_batch(batch.size)
+            with self._work:  # registry/tracer storage is not thread-safe
+                self.metrics.observe_batch(batch.size, batch.bucket, start)
+                if self.tracer.enabled:
+                    trace_batch(self.tracer, batch, worker.engine.name,
+                                w_idx, start, finish, results)
             for req, res in zip(batch.requests, results):
                 resp = Response(
                     rid=req.rid, status=ResponseStatus.OK,

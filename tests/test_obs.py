@@ -1,0 +1,382 @@
+"""Observability: span tracer, Chrome/Prometheus exports, windowed metrics.
+
+Also covers the previously untested Timeline paths the tracer is built on
+(``time_by_region``, ``roofline_report``, nested regions under
+``run_batch``) and the MetricsRegistry schema/terminal-time fixes.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.config import small_config
+from repro.gpu import KernelCost
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    WindowedMetrics,
+    chrome_trace,
+    chrome_trace_json,
+    engine_spans,
+    prometheus_text,
+    render_span_tree,
+)
+from repro.runtime import EncoderWeights, TensorRTLikeEngine
+from repro.serving import (
+    AsyncServer,
+    LoadgenSpec,
+    MetricsRegistry,
+    Response,
+    ResponseStatus,
+    make_policy,
+    run_loadgen,
+)
+
+_TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_trace", _TOOLS / "check_trace.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _small_spec(**kw):
+    base = dict(engine="et", model="small", rate_per_s=500.0,
+                num_requests=30, seed=3, max_seq_len=64, seq_step=16,
+                policy="fine32", workers=2, max_batch=4,
+                max_wait_us=1_000.0, max_depth=64)
+    base.update(kw)
+    return LoadgenSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Timeline coverage the tracer depends on (ISSUE 2 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestTimelineRegions:
+    def test_time_by_region_nested_labels(self, tl):
+        with tl.region("outer"):
+            tl.launch(KernelCost("a", bytes_loaded=1e5))
+            with tl.region("inner"):
+                tl.launch(KernelCost("b", bytes_loaded=1e5))
+        tl.launch(KernelCost("c", bytes_loaded=1e5))
+        by_region = tl.time_by_region()
+        assert set(by_region) == {"outer", "outer/inner", ""}
+        assert by_region["outer"] == pytest.approx(tl.records[0].time_us)
+        assert sum(by_region.values()) == pytest.approx(tl.total_time_us)
+
+    def test_roofline_report_rows(self, tl):
+        tl.launch(KernelCost("mem", bytes_loaded=1e6, flops=1e3))
+        tl.launch(KernelCost("cmp", bytes_loaded=32.0, flops=1e10))
+        rows = tl.roofline_report()
+        assert [r["kernel"] for r in rows] == ["mem", "cmp"]
+        for row in rows:
+            assert {"arithmetic_intensity", "ridge_point", "memory_bound",
+                    "achieved_gbs", "time_us"} <= set(row)
+        assert rows[0]["memory_bound"] and not rows[1]["memory_bound"]
+        assert rows[0]["arithmetic_intensity"] < rows[0]["ridge_point"]
+
+    def test_merge_prefix_wraps_regions(self, tl):
+        other = tl.fork()
+        with other.region("layer0"):
+            other.launch(KernelCost("k", bytes_loaded=1e5))
+        tl.merge(other, prefix="request7")
+        assert tl.records[0].region == "request7/layer0"
+
+    def test_run_batch_provenance_regions(self, rng):
+        cfg = small_config(name="prov", num_layers=2, d_model=32,
+                           num_heads=4, max_seq_len=32)
+        engine = TensorRTLikeEngine(EncoderWeights.random(cfg, rng))
+        xs = [rng.standard_normal((8, cfg.d_model)) for _ in range(2)]
+        results, agg = engine.run_batch(xs)
+        regions = set(agg.time_by_region())
+        assert {"request0/layer0", "request0/layer1",
+                "request1/layer0", "request1/layer1"} == regions
+        # provenance wrapping must not change the aggregate service time
+        assert agg.total_time_us == pytest.approx(
+            sum(r.latency_us for r in results))
+
+    def test_per_record_sm_efficiency_matches_aggregate(self, tl):
+        tl.launch(KernelCost("a", bytes_loaded=5e5, ctas=200))
+        tl.launch(KernelCost("b", bytes_loaded=2e6, ctas=40))
+        weighted = sum(r.sm_efficiency(tl.device) * r.time_us
+                       for r in tl.records) / tl.total_time_us
+        assert weighted == pytest.approx(tl.sm_efficiency)
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry satellites: schema stability, rejected terminal times
+# ---------------------------------------------------------------------------
+
+
+def _resp(rid, arrival, start, finish, ok=True, seq_len=16):
+    status = ResponseStatus.OK if ok else ResponseStatus.REJECTED
+    return Response(rid=rid, status=status, arrival_us=arrival,
+                    start_us=start, finish_us=finish,
+                    service_us=finish - start, seq_len=seq_len)
+
+
+class TestMetricsRegistry:
+    def test_snapshot_schema_is_stable(self):
+        empty = MetricsRegistry()
+        busy = MetricsRegistry()
+        busy.observe_response(_resp(0, 0.0, 10.0, 50.0))
+        busy.observe_batch(1, bucket=0, ts_us=10.0)
+        assert set(empty.snapshot()) == set(busy.snapshot())
+        for p in (50, 95, 99):
+            assert empty.snapshot()[f"p{p}_latency_us"] == 0.0
+        assert empty.snapshot()["mean_queue_us"] == 0.0
+
+    def test_rejections_extend_makespan(self):
+        m = MetricsRegistry()
+        m.observe_response(_resp(0, 0.0, 10.0, 50.0))
+        m.observe_response(_resp(1, 90.0, 100.0, 100.0, ok=False))
+        assert m.makespan_us == pytest.approx(100.0)
+        assert m.throughput_seq_s == pytest.approx(1 / 100e-6)
+
+    def test_rejection_only_run_has_nonzero_makespan(self):
+        m = MetricsRegistry()
+        m.observe_response(_resp(0, 5.0, 25.0, 25.0, ok=False))
+        assert m.makespan_us == pytest.approx(20.0)
+        assert m.throughput_seq_s == 0.0
+
+
+class TestWindowedMetrics:
+    def test_window_prunes_old_observations(self):
+        w = WindowedMetrics(window_us=100.0)
+        w.observe_request(0.0, 10.0, 1.0)
+        w.observe_request(50.0, 20.0, 2.0)
+        assert w.window_count == 2
+        w.observe_request(200.0, 30.0, 3.0)
+        assert w.window_count == 1  # first two fell out of the window
+        assert w.latency_percentile_us(50.0) == pytest.approx(30.0)
+
+    def test_ewma_throughput_tracks_completion_rate(self):
+        w = WindowedMetrics(ewma_alpha=0.5)
+        for i in range(1, 11):
+            w.observe_request(i * 1000.0, 10.0, 0.0)  # 1 per ms
+        assert w.ewma_throughput_seq_s == pytest.approx(1000.0, rel=1e-6)
+
+    def test_batch_histogram_cumulative_rows(self):
+        w = WindowedMetrics()
+        for size in (1, 2, 2, 5):
+            w.observe_batch(0.0, size, bucket=3)
+        rows = dict(w.hist_cumulative(3))
+        assert rows["1"] == 1 and rows["2"] == 3
+        assert rows["8"] == 4 and rows["+Inf"] == 4
+        assert w.batch_sum[3] == 10 and w.batch_count[3] == 4
+
+    def test_empty_window_snapshot_defaults(self):
+        snap = WindowedMetrics().snapshot()
+        assert snap["window_count"] == 0.0
+        assert snap["window_p99_latency_us"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedMetrics(window_us=0.0)
+        with pytest.raises(ValueError):
+            WindowedMetrics(ewma_alpha=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Tracer and span tree
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_loadgen_builds_full_span_chain(self):
+        tracer = Tracer()
+        res = run_loadgen(_small_spec(), tracer=tracer)
+        reqs = [s for s in tracer.roots if s.kind == "request"]
+        assert len(reqs) == res.metrics.completed + res.metrics.rejected
+        served = [s for s in reqs if s.attrs["status"] == "ok"]
+        for sp in served:
+            phases = {c.name for c in sp.children}
+            assert phases == {"queue_wait", "service"}
+            kinds = {d.kind for d in sp.walk()}
+            assert {"request", "phase", "layer", "step", "kernel"} <= kinds
+            for kern in (d for d in sp.walk() if d.kind == "kernel"):
+                assert {"gld_transactions", "gst_transactions",
+                        "sm_efficiency", "achieved_gbs"} <= set(kern.attrs)
+        batches = [s for s in tracer.roots if s.kind == "batch"]
+        batch_ids = {b.attrs["batch_id"] for b in batches}
+        assert all(s.attrs["batch_id"] in batch_ids for s in served)
+        assert "queue_depth" in tracer.counters
+
+    def test_request_span_attrs_carry_regime_and_bucket(self):
+        tracer = Tracer()
+        run_loadgen(_small_spec(), tracer=tracer)
+        sp = next(s for s in tracer.roots
+                  if s.kind == "request" and s.attrs["status"] == "ok")
+        assert sp.attrs["engine"] == "et"
+        assert sp.attrs["otf_regime"] in ("otf", "partial_otf",
+                                          "otf/partial_otf")
+        assert sp.attrs["bucket"] >= 0 and sp.attrs["seq_len"] > 0
+
+    def test_rejections_become_rejected_spans(self):
+        tracer = Tracer()
+        res = run_loadgen(_small_spec(rate_per_s=200_000.0, num_requests=40,
+                                      max_depth=4, workers=1, max_batch=2),
+                          tracer=tracer)
+        assert res.metrics.rejected > 0
+        rej = [s for s in tracer.roots
+               if s.kind == "request" and s.attrs["status"] == "rejected"]
+        assert len(rej) == res.metrics.rejected
+        assert all(not s.children for s in rej)
+
+    def test_engine_spans_lays_kernels_serially(self, rng):
+        cfg = small_config(name="lay", num_layers=2, d_model=32,
+                           num_heads=4, max_seq_len=32)
+        engine = TensorRTLikeEngine(EncoderWeights.random(cfg, rng))
+        res = engine.run(rng.standard_normal((16, cfg.d_model)))
+        root = Span("r", "request", 100.0, 100.0 + res.latency_us)
+        end = engine_spans(res.timeline, root, res.choices, t0_us=100.0)
+        assert end == pytest.approx(100.0 + res.latency_us)
+        kernels = [s for s in root.walk() if s.kind == "kernel"]
+        assert len(kernels) == res.timeline.num_kernels
+        for prev, nxt in zip(kernels, kernels[1:]):
+            assert nxt.start_us == pytest.approx(prev.end_us)
+        layers = [s for s in root.walk() if s.kind == "layer"]
+        assert [s.name for s in layers] == ["layer0", "layer1"]
+
+    def test_null_tracer_records_nothing(self):
+        t = NullTracer()
+        sp = t.span("x", "request", 0.0, 1.0)
+        sp.child("y", "phase", 0.0, 1.0)
+        t.counter("queue_depth", 0.0, 1.0)
+        assert t.spans_of_kind("request") == []
+        assert not t.enabled and not NULL_TRACER.enabled
+
+    def test_render_span_tree_mentions_counters(self):
+        tracer = Tracer()
+        run_loadgen(_small_spec(num_requests=5), tracer=tracer)
+        sp = next(s for s in tracer.roots if s.attrs.get("status") == "ok")
+        text = render_span_tree(sp)
+        assert "queue_wait" in text and "service" in text
+        assert "gld=" in text and "GB/s" in text
+
+
+# ---------------------------------------------------------------------------
+# Exports: determinism, structure, zero modeled overhead
+# ---------------------------------------------------------------------------
+
+
+class TestExports:
+    def test_same_seed_byte_identical_trace(self):
+        t1, t2 = Tracer(), Tracer()
+        run_loadgen(_small_spec(), tracer=t1)
+        run_loadgen(_small_spec(), tracer=t2)
+        assert chrome_trace_json(t1) == chrome_trace_json(t2)
+
+    def test_tracing_is_free_on_the_cost_model(self):
+        """NullTracer vs live Tracer: identical report — ≤2% is trivially met,
+        the modeled overhead is exactly zero."""
+        base = run_loadgen(_small_spec())
+        traced = run_loadgen(_small_spec(), tracer=Tracer())
+        assert base.report == traced.report
+        assert base.metrics.snapshot() == traced.metrics.snapshot()
+        b, t = base.metrics.snapshot(), traced.metrics.snapshot()
+        assert t["throughput_seq_s"] >= 0.98 * b["throughput_seq_s"]
+
+    def test_chrome_trace_passes_checker(self, tmp_path):
+        checker = _load_checker()
+        tracer = Tracer()
+        res = run_loadgen(_small_spec(), tracer=tracer)
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        trace_path.write_text(chrome_trace_json(tracer) + "\n")
+        prom_path.write_text(prometheus_text(res.metrics))
+        errors: list[str] = []
+        checker.check_trace(str(trace_path), errors)
+        checker.check_metrics(str(prom_path), errors)
+        assert errors == []
+
+    def test_checker_flags_broken_inputs(self, tmp_path):
+        checker = _load_checker()
+        bad_trace = tmp_path / "bad.json"
+        bad_trace.write_text(json.dumps({"traceEvents": [
+            {"name": "r", "ph": "X", "pid": 1, "tid": 0, "ts": 0.0,
+             "dur": 1.0, "cat": "request", "args": {"status": "ok"}}]}))
+        bad_prom = tmp_path / "bad.prom"
+        bad_prom.write_text("not a metric line at all!\n")
+        errors: list[str] = []
+        checker.check_trace(str(bad_trace), errors)
+        checker.check_metrics(str(bad_prom), errors)
+        assert any("chain" in e for e in errors)
+        assert any("bad sample" in e or "missing" in e for e in errors)
+
+    def test_chrome_counter_tracks_present(self):
+        tracer = Tracer()
+        run_loadgen(_small_spec(), tracer=tracer)
+        doc = chrome_trace(tracer)
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert {"queue_depth", "achieved_gbs"} <= counters
+
+    def test_prometheus_has_stable_series_names(self):
+        res = run_loadgen(_small_spec())
+        text = prometheus_text(res.metrics)
+        for name in ("repro_requests_completed_total",
+                     "repro_latency_us", "repro_window_latency_us",
+                     "repro_throughput_ewma_seq_s",
+                     "repro_batch_size_bucket"):
+            assert name in text
+        # empty registry renders the same schema (0-valued, not absent)
+        empty = prometheus_text(MetricsRegistry())
+        assert "repro_latency_us" in empty
+        assert 'quantile="0.99"' in empty
+
+
+# ---------------------------------------------------------------------------
+# AsyncServer + CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestServerAndCLI:
+    def test_async_server_metrics_text_and_tracer(self, rng):
+        cfg = small_config(name="obs-serve", num_layers=1, d_model=32,
+                           num_heads=4, max_seq_len=64)
+        engines = [TensorRTLikeEngine(EncoderWeights.random(cfg, rng))]
+        pol = make_policy("single", crossover=224, max_seq_len=64)
+        tracer = Tracer()
+        with AsyncServer(engines, pol, max_batch=4, max_wait_us=500.0,
+                         tracer=tracer) as server:
+            futs = [server.submit(rng.standard_normal((16, cfg.d_model)))
+                    for _ in range(3)]
+            for f in futs:
+                assert f.result(timeout=30.0).ok
+            text = server.metrics_text()
+        assert "repro_requests_completed_total 3" in text
+        served = [s for s in tracer.roots if s.kind == "request"]
+        assert len(served) == 3
+        assert all(any(d.kind == "kernel" for d in s.walk()) for s in served)
+
+    def test_cli_trace_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["trace", "--model", "small", "--seq-len", "48"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[request]" in out and "[layer]" in out
+        assert "gld=" in out and "GB/s" in out
+
+    def test_cli_loadgen_trace_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        rc = main(["loadgen", "--model", "small", "--requests", "10",
+                   "--rate", "500", "--max-len", "64", "--seq-step", "16",
+                   "--trace-out", str(trace), "--metrics-out", str(prom)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert any(e.get("cat") == "kernel" for e in doc["traceEvents"])
+        assert "repro_throughput_seq_s" in prom.read_text()
+        assert "trace written" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace + Prometheus exposition produced by the CLI.
+
+Usage::
+
+    python tools/check_trace.py trace.json metrics.prom
+
+Checks (the CI trace-smoke step runs this against a ``loadgen`` run):
+
+- the trace is valid ``trace_event`` JSON: a ``traceEvents`` list whose
+  events carry ``name``/``ph``/``pid``/``tid`` (and ``ts``/``dur`` for
+  complete events), i.e. it loads in chrome://tracing and Perfetto;
+- every completed request has the full span chain
+  request → queue_wait/service → layer → kernel, each span nested inside
+  its parent's time window, and a matching ``batch`` span exists;
+- kernel spans carry the Fig. 11/12 profiling counters
+  (``gld_transactions``, ``gst_transactions``, ``sm_efficiency``,
+  ``achieved_gbs``);
+- counter tracks exist for queue depth and achieved GB/s;
+- the metrics file parses as Prometheus text exposition (0.0.4) and
+  contains every required series.
+
+Exits non-zero with a message per failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+REQUIRED_KERNEL_ARGS = ("gld_transactions", "gst_transactions",
+                        "sm_efficiency", "achieved_gbs")
+REQUIRED_METRICS = (
+    "repro_requests_completed_total",
+    "repro_requests_rejected_total",
+    "repro_latency_us",
+    "repro_throughput_seq_s",
+    "repro_window_latency_us",
+    "repro_throughput_ewma_seq_s",
+    "repro_batch_size_bucket",
+)
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"               # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""    # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # more labels
+    r" -?[0-9.eE+-]+(e[+-][0-9]+)?$")
+_HEADER_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def _inside(child: dict, parent: dict, tol: float = 1e-6) -> bool:
+    """Whether a complete event's window nests inside another's."""
+    c0, c1 = child["ts"], child["ts"] + child.get("dur", 0.0)
+    p0, p1 = parent["ts"], parent["ts"] + parent.get("dur", 0.0)
+    return c0 >= p0 - tol and c1 <= p1 + tol
+
+
+def check_trace(path: str, errors: list[str]) -> None:
+    """Structural checks on one Chrome ``trace_event`` JSON file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"trace: cannot load {path}: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append("trace: traceEvents missing or empty")
+        return
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                errors.append(f"trace: event {i} lacks {key!r}")
+                return
+        if ev["ph"] == "X" and ("ts" not in ev or "dur" not in ev):
+            errors.append(f"trace: complete event {i} lacks ts/dur")
+            return
+
+    xs = [e for e in events if e["ph"] == "X"]
+    requests = [e for e in xs if e.get("cat") == "request"]
+    batches = {e["args"].get("batch_id"): e for e in xs
+               if e.get("cat") == "batch"}
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    if not requests:
+        errors.append("trace: no request spans")
+        return
+    served = [e for e in requests if e["args"].get("status") == "ok"]
+    if not served:
+        errors.append("trace: no served request spans")
+        return
+    by_track: dict[tuple, list[dict]] = {}
+    for e in xs:
+        by_track.setdefault((e["pid"], e["tid"]), []).append(e)
+    for req in served:
+        rid = req["args"].get("rid")
+        track = by_track[(req["pid"], req["tid"])]
+        kinds = {e.get("cat") for e in track if _inside(e, req)}
+        missing = {"phase", "layer", "kernel"} - kinds
+        if missing:
+            errors.append(f"trace: request {rid} chain lacks {missing}")
+            continue
+        names = {e["name"] for e in track if e.get("cat") == "phase"
+                 and _inside(e, req)}
+        if not {"queue_wait", "service"} <= names:
+            errors.append(f"trace: request {rid} lacks queue_wait/service "
+                          f"phases (got {sorted(names)})")
+        bid = req["args"].get("batch_id")
+        if bid not in batches:
+            errors.append(f"trace: request {rid} references missing "
+                          f"batch {bid}")
+        for kern in (e for e in track if e.get("cat") == "kernel"
+                     and _inside(e, req)):
+            lacking = [a for a in REQUIRED_KERNEL_ARGS
+                       if a not in kern.get("args", {})]
+            if lacking:
+                errors.append(f"trace: kernel {kern['name']} of request "
+                              f"{rid} lacks counters {lacking}")
+                break
+    for track_name in ("queue_depth", "achieved_gbs"):
+        if track_name not in counters:
+            errors.append(f"trace: no {track_name!r} counter track")
+    print(f"trace: {len(requests)} request spans ({len(served)} served), "
+          f"{len(batches)} batches, counter tracks: {sorted(counters)}")
+
+
+def check_metrics(path: str, errors: list[str]) -> None:
+    """Line-level validation of one Prometheus text-exposition file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        errors.append(f"metrics: cannot read {path}: {e}")
+        return
+    names = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not _HEADER_RE.match(line):
+                errors.append(f"metrics: bad header line {lineno}: {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            errors.append(f"metrics: bad sample line {lineno}: {line!r}")
+            continue
+        names.add(re.split(r"[{ ]", line, maxsplit=1)[0])
+    for required in REQUIRED_METRICS:
+        if required not in names:
+            errors.append(f"metrics: series {required!r} missing")
+    print(f"metrics: {len(names)} series validated")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    errors: list[str] = []
+    check_trace(argv[0], errors)
+    check_metrics(argv[1], errors)
+    for err in errors:
+        print(f"FAIL: {err}", file=sys.stderr)
+    if not errors:
+        print("OK: trace and metrics pass all checks")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
