@@ -1,0 +1,41 @@
+"""`etlint` — repo-specific static analysis for the E.T. reproduction.
+
+Four AST passes enforce the invariants the engine's correctness rests on,
+at analysis time instead of at runtime:
+
+1. **kernel-contract** (ET1xx): Equation 6 shared-memory budgets and
+   tensor-core tile geometry, checked against every known
+   :class:`~repro.gpu.device.DeviceSpec` at statically resolvable
+   construction sites.
+2. **fp16-safety** (ET2xx): the Section 3.3 scaling-reorder rule — pure
+   FP16 ``Q·Kᵀ`` must pre-scale or widen its accumulator.
+3. **determinism** (ET3xx): no wall clocks, unseeded RNG, or unsorted set
+   iteration in the paths that back the byte-identical-trace guarantee.
+4. **thread-safety** (ET4xx): ``self.*`` writes and lock-less-collaborator
+   mutations in lock-owning serving classes must hold the class's lock.
+
+Run ``python -m repro.analysis`` (or ``tools/etlint.py``); see
+``--list-rules`` for the rule catalogue and DESIGN.md §9 for the mapping
+from rules to paper sections.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import RULES, Finding, Rule, Severity
+from repro.analysis.runner import (
+    AnalysisContext,
+    AnalysisReport,
+    SourceFile,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "run_analysis",
+]

@@ -1,0 +1,156 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean; 1 — non-baselined findings (or parse errors);
+2 — usage error (bad path, unknown rule, invalid baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.runner import findings_with_lines, run_analysis
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="etlint: static analysis of the E.T. reproduction's "
+                    "kernel-launch, FP16-safety, determinism, and "
+                    "thread-safety contracts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "github", "json"), default="text",
+        help="finding output format; 'github' emits workflow-command "
+             "annotations that overlay PR diffs")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file of intentional exceptions (default: "
+             f"{DEFAULT_BASELINE_NAME} at the repo root when present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report everything")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids or prefixes to run "
+             "(e.g. ET3,ET401)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its invariant and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in sorted(RULES.values(), key=lambda r: r.rule_id):
+        lines.append(f"{rule.rule_id} [{rule.severity.value}] {rule.name}")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    invariant: {rule.invariant}")
+        lines.append(f"    traces to: {rule.paper_ref}")
+    return "\n".join(lines)
+
+
+def _json_payload(findings: list[Finding]) -> str:
+    import json
+
+    return json.dumps(
+        [
+            {"rule": f.rule_id, "path": f.path, "line": f.line,
+             "col": f.col, "severity": f.severity.value,
+             "message": f.message, "hint": f.hint}
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return EXIT_USAGE
+
+    rule_filter = None
+    if args.rules:
+        prefixes = tuple(
+            token.strip().upper()
+            for token in args.rules.split(",") if token.strip())
+        unknown = [p for p in prefixes
+                   if not any(rid.startswith(p) for rid in RULES)]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        rule_filter = lambda rid: rid.startswith(prefixes)  # noqa: E731
+
+    root = Path.cwd()
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / DEFAULT_BASELINE_NAME)
+
+    if args.write_baseline:
+        raw = findings_with_lines(paths, root)
+        if rule_filter is not None:
+            raw = [pair for pair in raw if rule_filter(pair[0].rule_id)]
+        Baseline.from_findings(raw).save(baseline_path)
+        print(f"wrote {len(raw)} baseline entr"
+              f"{'y' if len(raw) == 1 else 'ies'} to {baseline_path}")
+        return EXIT_CLEAN
+
+    baseline = None
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    report = run_analysis(paths, root, baseline=baseline,
+                          rule_filter=rule_filter)
+    for err in report.parse_errors:
+        print(f"error: cannot parse {err}", file=sys.stderr)
+
+    if args.format == "json":
+        print(_json_payload(report.findings))
+    else:
+        for finding in report.findings:
+            print(finding.format_github() if args.format == "github"
+                  else finding.format_text())
+
+    if args.format != "json":
+        suppressed = report.suppressed_inline + report.suppressed_baseline
+        summary = (f"etlint: {len(report.findings)} finding"
+                   f"{'' if len(report.findings) == 1 else 's'} across "
+                   f"{report.files_scanned} files")
+        if suppressed:
+            summary += (f" ({report.suppressed_inline} inline-suppressed, "
+                        f"{report.suppressed_baseline} baselined)")
+        print(summary, file=sys.stderr)
+
+    if report.findings or report.parse_errors:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

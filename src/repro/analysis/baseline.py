@@ -1,0 +1,109 @@
+"""Baseline file support: intentional exceptions, committed next to the code.
+
+A baseline entry identifies a finding by ``(rule, path, hash of the
+stripped source line)`` plus an allowed count, so renumbering lines (the
+common churn) does not invalidate it while any edit to the flagged line
+itself does — exactly when a human should re-review the exception.
+
+The default location is ``.etlint-baseline.json`` at the repository root;
+``--write-baseline`` regenerates it from the current findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".etlint-baseline.json"
+
+BaselineKey = tuple[str, str, str]
+
+
+def line_hash(source_line: str) -> str:
+    """Stable digest of one stripped source line."""
+    return hashlib.sha256(source_line.strip().encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts keyed by (rule, path, line hash)."""
+
+    entries: Counter[BaselineKey]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=Counter())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad document."""
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path}: invalid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: expected version {BASELINE_VERSION}")
+        entries: Counter[BaselineKey] = Counter()
+        raw = doc.get("entries", [])
+        if not isinstance(raw, list):
+            raise ValueError(f"baseline {path}: 'entries' must be a list")
+        for item in raw:
+            if not isinstance(item, dict):
+                raise ValueError(f"baseline {path}: bad entry {item!r}")
+            try:
+                key = (str(item["rule"]), str(item["path"]),
+                       str(item["line_hash"]))
+                count = int(item.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"baseline {path}: bad entry {item!r}") from exc
+            entries[key] += max(1, count)
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[tuple[Finding, str]]) -> "Baseline":
+        """Build a baseline that exactly covers ``(finding, source line)`` pairs."""
+        entries: Counter[BaselineKey] = Counter()
+        for finding, source_line in findings:
+            entries[(finding.rule_id, finding.path,
+                     line_hash(source_line))] += 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        items = [
+            {"rule": rule, "path": file_path, "line_hash": digest,
+             "count": count}
+            for (rule, file_path, digest), count in sorted(
+                self.entries.items())
+        ]
+        doc = {"version": BASELINE_VERSION, "entries": items}
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, findings: list[tuple[Finding, str]]
+               ) -> tuple[list[Finding], int]:
+        """Drop baselined findings; returns (surviving, suppressed count).
+
+        Each baseline entry absorbs up to ``count`` findings with its key;
+        extra occurrences on the same line still fail, so a baselined file
+        cannot silently accumulate more violations of the same kind.
+        """
+        budget = Counter(self.entries)
+        survivors: list[Finding] = []
+        suppressed = 0
+        for finding, source_line in findings:
+            key: BaselineKey = (finding.rule_id, finding.path,
+                                line_hash(source_line))
+            if budget[key] > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                survivors.append(finding)
+        return survivors, suppressed

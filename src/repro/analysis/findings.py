@@ -1,0 +1,213 @@
+"""Rule registry and the structured finding record `etlint` emits.
+
+Every rule encodes one invariant the engine's correctness rests on. The
+registry entry names the invariant, the paper section it traces to, and
+the canonical fix, so a finding is actionable without opening the linter
+source. Rule identifiers are stable (baselines and inline suppressions
+reference them) and grouped by pass:
+
+- ``ET1xx`` — kernel-launch contracts (Equation 6 budgets, tensor-core
+  tile geometry), :mod:`repro.analysis.kernel_contract`;
+- ``ET2xx`` — FP16 numerical safety (the Section 3.3 scaling reorder),
+  :mod:`repro.analysis.fp16_safety`;
+- ``ET3xx`` — determinism of the byte-identical trace/artifact paths,
+  :mod:`repro.analysis.determinism`;
+- ``ET4xx`` — thread-safety of the serving layer's shared state,
+  :mod:`repro.analysis.thread_safety`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Finding severity: both fail the run, only the annotation differs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule."""
+
+    rule_id: str
+    name: str
+    summary: str
+    invariant: str
+    hint: str
+    paper_ref: str
+    severity: Severity = Severity.ERROR
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_text(self) -> str:
+        """One-line ``path:line:col RULE message`` rendering."""
+        out = f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+        if self.hint:
+            out += f"\n    fix: {self.hint}"
+        return out
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command annotation (PR diff overlay)."""
+        level = "error" if self.severity is Severity.ERROR else "warning"
+        message = self.message if not self.hint else f"{self.message} — fix: {self.hint}"
+        # Workflow-command values must escape newlines and their delimiters.
+        message = (message.replace("%", "%25").replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+        return (f"::{level} file={self.path},line={self.line},"
+                f"col={self.col},title={self.rule_id}::{message}")
+
+
+_RULE_LIST: tuple[Rule, ...] = (
+    Rule(
+        rule_id="ET101",
+        name="kernel-smem-budget",
+        summary="Kernel requests more shared memory per CTA than any known device has per SM",
+        invariant="A CTA's shared-memory request must fit one SM or the kernel "
+                  "cannot launch (Equation 6's budget).",
+        hint="shrink the tile (tile_rows / seq_len term) or split the kernel; "
+             "KernelCost.validate_launch would raise at runtime",
+        paper_ref="Section 3.2, Eq. 6",
+    ),
+    Rule(
+        rule_id="ET102",
+        name="kernel-smem-portability",
+        summary="Kernel's shared-memory request exceeds some known device's per-SM capacity",
+        invariant="Kernels should launch on every DeviceSpec the repo models, "
+                  "not only the largest one.",
+        hint="keep smem_per_cta_bytes within the smallest device budget or "
+             "gate the config on the device",
+        paper_ref="Section 3.2, Eq. 6",
+        severity=Severity.WARNING,
+    ),
+    Rule(
+        rule_id="ET103",
+        name="tensorcore-k-alignment",
+        summary="FP16 tensor-core reduction dimension is not a multiple of 8",
+        invariant="V100 HMMA fragments consume the reduction dimension in "
+                  "chunks of 8 FP16 elements; misaligned d_k falls off the "
+                  "tensor-core fast path.",
+        hint="pad d_k to a multiple of 8 (BERT uses 64)",
+        paper_ref="Section 2.2",
+    ),
+    Rule(
+        rule_id="ET104",
+        name="tile-height-alignment",
+        summary="CTA tile height is not a multiple of the 16-row tensor-core tile edge",
+        invariant="The OTF kernel assigns each CTA whole 16-row tensor-core "
+                  "tiles of a head; other heights waste HMMA lanes.",
+        hint="use a tile_rows that is a multiple of 16",
+        paper_ref="Section 3.1",
+    ),
+    Rule(
+        rule_id="ET201",
+        name="fp16-matmul-prescale",
+        summary="Pure-FP16 matmul without pre-scaling its left operand",
+        invariant="Pure-FP16 Q·Kᵀ overflows for most entries unless the "
+                  "1/√d_k scaling moves before the product (the Section 3.3 "
+                  "reorder) or the accumulator widens to FP32.",
+        hint="scale the left operand before the call (q * (1/sqrt(d_k))) or "
+             "pass accumulate=\"fp32\"",
+        paper_ref="Section 3.3, Fig. 4",
+    ),
+    Rule(
+        rule_id="ET202",
+        name="post-scale-fp16-scores",
+        summary="Attention scores computed scale-last in pure FP16",
+        invariant="scale_first=False with an FP16 accumulator is Fig. 4's "
+                  "overflow regime; production paths must pre-scale.",
+        hint="pass scale_first=True, or accumulate=\"fp32\" if the "
+             "conventional order is required",
+        paper_ref="Section 3.3, Fig. 4",
+    ),
+    Rule(
+        rule_id="ET203",
+        name="fp16-cast-of-matmul",
+        summary="Unscaled matmul product cast straight to FP16",
+        invariant="Casting a raw Q·Kᵀ-style product to FP16 saturates to inf "
+                  "wherever the sum left the ±65504 range.",
+        hint="apply the 1/√d_k scaling to an operand before the product, "
+             "then cast",
+        paper_ref="Section 3.3, Fig. 4",
+    ),
+    Rule(
+        rule_id="ET301",
+        name="wall-clock-in-hot-path",
+        summary="Wall-clock read inside a deterministic hot path",
+        invariant="Traces and artifacts are byte-identical per seed; wall "
+                  "clocks may only be read at the designated timing boundary "
+                  "(the thread-backed server).",
+        hint="thread virtual time (cost-model microseconds) through instead; "
+             "if this IS the timing boundary, add "
+             "'# etlint: disable=ET301 <reason>'",
+        paper_ref="PR 2 byte-identical-trace guarantee",
+    ),
+    Rule(
+        rule_id="ET302",
+        name="unseeded-rng",
+        summary="Unseeded or global-state random number generation",
+        invariant="Every stochastic draw must come from an explicitly seeded "
+                  "np.random.Generator so artifacts replay per seed.",
+        hint="use np.random.default_rng(seed) and pass the generator down",
+        paper_ref="PR 2 byte-identical-trace guarantee",
+    ),
+    Rule(
+        rule_id="ET303",
+        name="set-iteration-order",
+        summary="Iterating a set into output without sorting",
+        invariant="Set iteration order varies across processes "
+                  "(PYTHONHASHSEED); anything feeding trace/report output "
+                  "must iterate in sorted order.",
+        hint="wrap the set in sorted(...)",
+        paper_ref="PR 2 byte-identical-trace guarantee",
+    ),
+    Rule(
+        rule_id="ET401",
+        name="unlocked-attribute-write",
+        summary="Instance attribute written outside the class's lock",
+        invariant="A class that owns a lock and shares state across threads "
+                  "must hold that lock for every attribute mutation outside "
+                  "__init__.",
+        hint="move the write under 'with self.<lock>:'",
+        paper_ref="serving layer thread contract (DESIGN.md §7)",
+    ),
+    Rule(
+        rule_id="ET402",
+        name="unlocked-collaborator-mutation",
+        summary="Mutating call on a lock-less collaborator outside the owner's lock",
+        invariant="MetricsRegistry/WindowedMetrics and friends are not "
+                  "thread-safe by design; their owner must wrap every "
+                  "mutating call in its own lock.",
+        hint="move the call under 'with self.<lock>:'",
+        paper_ref="serving layer thread contract (DESIGN.md §7)",
+    ),
+)
+
+#: All rules, by stable identifier.
+RULES: dict[str, Rule] = {r.rule_id: r for r in _RULE_LIST}
+
+
+def make_finding(rule_id: str, path: str, line: int, col: int,
+                 message: str) -> Finding:
+    """Build a finding, pulling hint and severity from the registry."""
+    rule = RULES[rule_id]
+    return Finding(rule_id=rule_id, path=path, line=line, col=col,
+                   message=message, hint=rule.hint, severity=rule.severity)

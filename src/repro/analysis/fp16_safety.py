@@ -1,0 +1,119 @@
+"""Pass 2 — FP16 numerical safety: the Section 3.3 scaling-reorder rule.
+
+Pure-FP16 ``Q·Kᵀ`` overflows for most entries (Fig. 4) unless the
+``1/√d_k`` scaling moves *before* the product or the accumulator widens to
+FP32. This pass encodes that invariant at the emulation API's call sites:
+
+- ``fp16_matmul(a, b)`` with a pure-FP16 accumulator must visibly pre-scale
+  its left operand (a ``*``/``/`` expression) — ET201;
+- ``attention_scores_overflow(...)`` / ``overflow_heatmap(...)`` with a
+  literal ``scale_first=False`` and an FP16 accumulator is the overflow
+  regime — ET202 (the overflow *study* itself carries inline suppressions:
+  measuring the bad regime is its purpose);
+- ``to_fp16(x @ y)`` casts a raw product with no scaling anywhere — ET203.
+
+Call sites whose accumulate/scale_first arguments are runtime values are
+skipped: the pass only reports what it can prove from the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.resolve import callee_name, keyword_arg
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import AnalysisContext, SourceFile
+
+#: ``scale_first`` / ``accumulate`` positional slots per checked callee.
+_SCALE_FIRST_POS = {"attention_scores_overflow": 3, "overflow_heatmap": 2}
+_ACCUMULATE_POS = {"fp16_matmul": 2, "attention_scores_overflow": 4,
+                   "overflow_heatmap": 3}
+
+
+def _literal_str(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_bool(node: ast.expr | None) -> bool | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _accumulate_mode(call: ast.Call, callee: str) -> str | None:
+    """The call's accumulate mode: a literal, the default, or ``None`` (unknown)."""
+    expr = keyword_arg(call, "accumulate", _ACCUMULATE_POS[callee])
+    if expr is None:
+        return "fp16"  # the parameter's default
+    return _literal_str(expr)
+
+
+def _is_prescaled(node: ast.expr) -> bool:
+    """Whether an operand expression visibly applies a scale factor."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div)):
+        return True
+    if isinstance(node, ast.Call):  # e.g. np.asarray(q * scale)
+        return any(_is_prescaled(arg) for arg in node.args
+                   if not isinstance(arg, ast.Starred))
+    return False
+
+
+def check_fp16_safety(sf: "SourceFile",
+                      ctx: "AnalysisContext") -> list[Finding]:
+    """Run the FP16-safety checks over one file."""
+    findings: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = callee_name(node)
+        if callee == "fp16_matmul":
+            findings.extend(_check_fp16_matmul(sf, node))
+        elif callee in ("attention_scores_overflow", "overflow_heatmap"):
+            findings.extend(_check_scores_call(sf, node, callee))
+        elif callee == "to_fp16":
+            findings.extend(_check_fp16_cast(sf, node))
+    return findings
+
+
+def _check_fp16_matmul(sf: "SourceFile", node: ast.Call) -> list[Finding]:
+    if _accumulate_mode(node, "fp16_matmul") != "fp16" or not node.args:
+        return []
+    left = node.args[0]
+    if isinstance(left, ast.Starred) or _is_prescaled(left):
+        return []
+    return [make_finding(
+        "ET201", sf.display, node.lineno, node.col_offset,
+        "pure-FP16 matmul whose left operand is not pre-scaled; partial "
+        "sums can leave the ±65504 range")]
+
+
+def _check_scores_call(sf: "SourceFile", node: ast.Call,
+                       callee: str) -> list[Finding]:
+    scale_first = _literal_bool(
+        keyword_arg(node, "scale_first", _SCALE_FIRST_POS[callee]))
+    if scale_first is not False:
+        return []
+    if _accumulate_mode(node, callee) != "fp16":
+        return []
+    return [make_finding(
+        "ET202", sf.display, node.lineno, node.col_offset,
+        f"{callee} with scale_first=False in pure FP16 reproduces the "
+        f"Fig. 4 overflow regime")]
+
+
+def _check_fp16_cast(sf: "SourceFile", node: ast.Call) -> list[Finding]:
+    if len(node.args) != 1:
+        return []
+    arg = node.args[0]
+    if not (isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.MatMult)):
+        return []
+    if _is_prescaled(arg.left) or _is_prescaled(arg.right):
+        return []
+    return [make_finding(
+        "ET203", sf.display, node.lineno, node.col_offset,
+        "matmul product cast to FP16 without scaling either operand")]

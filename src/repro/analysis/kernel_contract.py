@@ -1,0 +1,134 @@
+"""Pass 1 — kernel-launch contracts, checked without running the engine.
+
+``KernelCost.validate_launch`` rejects an over-budget shared-memory request
+only when the kernel actually executes; this pass applies the same
+Equation 6 budget at every construction site whose resources are statically
+knowable (literals or module constants), against **every** ``DeviceSpec``
+the repo declares. It also checks the tensor-core geometry contracts that
+the paper's kernel design assumes: the FP16 HMMA reduction dimension moves
+in chunks of 8 (``d_k % 8 == 0``) and the OTF kernel tiles heads in whole
+16-row tensor-core tiles (``tile_rows % 16 == 0``).
+
+Call sites whose shapes are runtime values fold to ``None`` and are
+skipped — the runtime check still guards those; the point of the pass is
+that the *statically decidable* sites fail in CI instead of at launch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.resolve import callee_name, fold_int, keyword_arg
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import AnalysisContext, SourceFile
+
+#: HMMA fragments consume the FP16 reduction dimension 8 elements at a time.
+TC_K_ALIGN = 8
+
+#: The tensor-core tile edge the OTF kernel tiles rows by (Section 3.1).
+TC_TILE_EDGE = 16
+
+
+def _budget_findings(sf: "SourceFile", node: ast.Call, smem: int,
+                     devices: dict[str, int]) -> list[Finding]:
+    """ET101/ET102 for one resolved per-CTA shared-memory request."""
+    if not devices or smem <= 0:
+        return []
+    over = {name: cap for name, cap in devices.items() if smem > cap}
+    if not over:
+        return []
+    listing = ", ".join(f"{name} ({cap} B/SM)"
+                        for name, cap in sorted(over.items()))
+    if len(over) == len(devices):
+        return [make_finding(
+            "ET101", sf.display, node.lineno, node.col_offset,
+            f"requests {smem} B shared memory per CTA, which exceeds every "
+            f"known device: {listing}")]
+    return [make_finding(
+        "ET102", sf.display, node.lineno, node.col_offset,
+        f"requests {smem} B shared memory per CTA, which exceeds {listing}")]
+
+
+def _otf_smem(seq_len: int, d_k: int, bytes_per_elem: int,
+              mixed_precision: bool, tile_rows: int) -> int:
+    """Equation 6's budget, mirroring :func:`repro.attention.onthefly.otf_smem_bytes`."""
+    score_bytes = 4 if mixed_precision else bytes_per_elem
+    return tile_rows * d_k * bytes_per_elem + tile_rows * seq_len * score_bytes
+
+
+def check_kernel_contract(sf: "SourceFile",
+                          ctx: "AnalysisContext") -> list[Finding]:
+    """Run the kernel-contract checks over one file."""
+    findings: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = callee_name(node)
+        if name == "KernelCost":
+            findings.extend(_check_kernel_cost(sf, ctx, node))
+        elif name == "otf_smem_bytes":
+            findings.extend(_check_otf_smem_site(sf, ctx, node))
+        else:
+            tile_expr = keyword_arg(node, "tile_rows")
+            if tile_expr is not None:
+                findings.extend(_check_tile_rows(sf, node, tile_expr))
+    return findings
+
+
+def _check_kernel_cost(sf: "SourceFile", ctx: "AnalysisContext",
+                       node: ast.Call) -> list[Finding]:
+    smem_expr = keyword_arg(node, "smem_per_cta_bytes")
+    if smem_expr is None:
+        return []
+    smem = fold_int(smem_expr, sf.env)
+    if smem is None:
+        return []
+    return _budget_findings(sf, node, smem, ctx.devices)
+
+
+def _check_otf_smem_site(sf: "SourceFile", ctx: "AnalysisContext",
+                         node: ast.Call) -> list[Finding]:
+    """Resolve an ``otf_smem_bytes(...)`` call's tile shape and check it."""
+    findings: list[Finding] = []
+    seq_expr = keyword_arg(node, "seq_len", 0)
+    dk_expr = keyword_arg(node, "d_k", 1)
+    bpe_expr = keyword_arg(node, "bytes_per_elem", 2)
+    mixed_expr = keyword_arg(node, "mixed_precision", 3)
+    tile_expr = keyword_arg(node, "tile_rows", 4)
+
+    bpe = 2 if bpe_expr is None else fold_int(bpe_expr, sf.env)
+    mixed = (False if mixed_expr is None
+             else bool(fold_int(mixed_expr, sf.env) or 0))
+    tile_rows = (TC_TILE_EDGE if tile_expr is None
+                 else fold_int(tile_expr, sf.env))
+    d_k = None if dk_expr is None else fold_int(dk_expr, sf.env)
+    seq_len = None if seq_expr is None else fold_int(seq_expr, sf.env)
+
+    if d_k is not None and bpe == 2 and d_k % TC_K_ALIGN != 0:
+        findings.append(make_finding(
+            "ET103", sf.display, node.lineno, node.col_offset,
+            f"d_k={d_k} is not a multiple of {TC_K_ALIGN}; FP16 HMMA "
+            f"fragments consume the reduction dimension {TC_K_ALIGN} at a "
+            f"time"))
+    if tile_expr is not None:
+        findings.extend(_check_tile_rows(sf, node, tile_expr))
+    if None not in (seq_len, d_k, bpe, tile_rows):
+        assert seq_len is not None and d_k is not None  # for the type checker
+        assert bpe is not None and tile_rows is not None
+        smem = _otf_smem(seq_len, d_k, bpe, mixed, tile_rows)
+        findings.extend(_budget_findings(sf, node, smem, ctx.devices))
+    return findings
+
+
+def _check_tile_rows(sf: "SourceFile", node: ast.Call,
+                     tile_expr: ast.expr) -> list[Finding]:
+    tile_rows = fold_int(tile_expr, sf.env)
+    if tile_rows is None or tile_rows <= 0 or tile_rows % TC_TILE_EDGE == 0:
+        return []
+    return [make_finding(
+        "ET104", sf.display, node.lineno, node.col_offset,
+        f"tile_rows={tile_rows} is not a multiple of the {TC_TILE_EDGE}-row "
+        f"tensor-core tile edge")]

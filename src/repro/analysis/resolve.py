@@ -1,0 +1,205 @@
+"""Static constant resolution shared by the analysis passes.
+
+The kernel-contract pass needs to evaluate expressions such as
+``16 * 64 * 2 + 16 * 128 * 2`` or ``TILE_ROWS * d_k`` at analysis time.
+This module provides:
+
+- :func:`fold` — evaluate an AST expression to a number using a constant
+  environment (literals, arithmetic, names bound to module constants);
+- :func:`module_constants` — the foldable module-level bindings of one
+  parsed file, including constants imported from other scanned modules;
+- :func:`device_specs` — every ``DeviceSpec`` the repo declares, read
+  statically from the scanned tree when ``gpu/device.py`` is in it and
+  imported as a fallback otherwise (the tool is repo-specific; importing
+  its own leaf dataclass module runs no engine code).
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Callable, Mapping
+
+Number = float
+ConstEnv = dict[str, float]
+
+_BINOPS: dict[type[ast.operator], Callable[[float, float], float]] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+
+def fold(node: ast.expr, env: Mapping[str, float]) -> float | None:
+    """Evaluate ``node`` to a number, or ``None`` if not statically known."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return float(node.value)
+        if isinstance(node.value, (int, float)):
+            return float(node.value)
+        return None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        val = fold(node.operand, env)
+        if val is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -val
+        if isinstance(node.op, ast.UAdd):
+            return val
+        return None
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            return None
+        left = fold(node.left, env)
+        right = fold(node.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            return float(op(left, right))
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def fold_int(node: ast.expr, env: Mapping[str, float]) -> int | None:
+    """:func:`fold` narrowed to integral results."""
+    val = fold(node, env)
+    if val is None or val != int(val):
+        return None
+    return int(val)
+
+
+def _local_constants(tree: ast.Module) -> ConstEnv:
+    """Foldable module-level ``NAME = <expr>`` bindings, in source order."""
+    env: ConstEnv = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        folded = fold(value, env)
+        if folded is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = folded
+    return env
+
+
+def module_constants(tree: ast.Module,
+                     modules: Mapping[str, ast.Module]) -> ConstEnv:
+    """Constant environment of one module, resolving one level of imports.
+
+    ``modules`` maps dotted module names of the scanned tree to their parsed
+    ASTs; ``from repro.x import NAME`` pulls ``NAME``'s folded value from the
+    source module when it is in the scan set.
+    """
+    env: ConstEnv = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ImportFrom) or stmt.module is None:
+            continue
+        src = modules.get(stmt.module)
+        if src is None:
+            continue
+        src_env = _local_constants(src)
+        for alias in stmt.names:
+            if alias.name in src_env:
+                env[alias.asname or alias.name] = src_env[alias.name]
+    env.update(_local_constants(tree))
+    return env
+
+
+def _specs_from_ast(tree: ast.Module) -> dict[str, int]:
+    """``{device name: smem_per_sm_bytes}`` from DeviceSpec constructions."""
+    env = _local_constants(tree)
+    specs: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _callee_name(node) == "DeviceSpec"):
+            continue
+        name: str | None = None
+        smem: int | None = None
+        for kw in node.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                name = kw.value.value
+            if kw.arg == "smem_per_sm_bytes":
+                smem = fold_int(kw.value, env)
+        if name is not None and smem is not None:
+            specs[name] = smem
+    return specs
+
+
+def device_specs(modules: Mapping[str, ast.Module]) -> dict[str, int]:
+    """Per-SM shared-memory budget of every known device.
+
+    Prefers a static read of ``repro.gpu.device`` when that module is part
+    of the scanned tree; otherwise imports it (a frozen-dataclass leaf with
+    no engine side effects) and enumerates its module-level specs.
+    """
+    specs: dict[str, int] = {}
+    for mod_name, tree in modules.items():
+        if mod_name == "repro.gpu.device" or mod_name.endswith(".device"):
+            specs.update(_specs_from_ast(tree))
+    if specs:
+        return specs
+    try:
+        from repro.gpu import device as device_mod
+    except ImportError:  # tool run outside the repo package
+        return {}
+    spec_cls = device_mod.DeviceSpec
+    for value in vars(device_mod).values():
+        if isinstance(value, spec_cls):
+            specs[value.name] = int(value.smem_per_sm_bytes)
+    return specs
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    """Terminal name of a call's callee (``f`` for both ``f()`` and ``m.f()``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def callee_name(call: ast.Call) -> str | None:
+    """Public alias of :func:`_callee_name` for the passes."""
+    return _callee_name(call)
+
+
+def dotted_callee(call: ast.Call) -> str | None:
+    """Full dotted callee path (``np.random.default_rng``), or ``None``."""
+    parts: list[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def keyword_arg(call: ast.Call, name: str,
+                position: int | None = None) -> ast.expr | None:
+    """The expression bound to parameter ``name`` (keyword or positional)."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    if position is not None and position < len(call.args):
+        arg = call.args[position]
+        if not isinstance(arg, ast.Starred):
+            return arg
+    return None

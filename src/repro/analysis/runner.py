@@ -1,0 +1,243 @@
+"""Discovery and orchestration for the four `etlint` passes.
+
+The runner parses every Python file under the given paths once, builds the
+shared static context (per-module constant environments, the device-spec
+table, the scanned-class lock map), runs each pass over each file, then
+applies inline suppressions and the baseline.
+
+Inline suppression: a line (or the line directly above it) containing
+``# etlint: disable=ET301`` (comma-separated ids, or ``all``) silences
+those rules for findings anchored on that line. Suppressions should carry
+a reason, e.g.::
+
+    self._t0 = time.monotonic()  # etlint: disable=ET301 timing boundary
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.resolve import ConstEnv, device_specs, module_constants
+
+_DISABLE_RE = re.compile(r"#\s*etlint:\s*disable=([A-Za-z0-9_,]+)")
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus the derived context the passes consume."""
+
+    path: Path
+    display: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    env: ConstEnv = field(default_factory=dict)
+
+    def source_line(self, lineno: int) -> str:
+        """1-indexed physical line, empty string when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class AnalysisContext:
+    """Cross-file facts shared by every pass."""
+
+    files: list[SourceFile]
+    modules: dict[str, ast.Module]
+    devices: dict[str, int]
+    lockless_classes: set[str]
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding]
+    files_scanned: int
+    suppressed_inline: int
+    suppressed_baseline: int
+    parse_errors: list[str] = field(default_factory=list)
+
+
+PassFn = Callable[[SourceFile, AnalysisContext], list[Finding]]
+
+
+def _iter_py_files(paths: Sequence[Path]) -> Iterable[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name: rooted at ``repro`` when inside the package."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+        return ".".join(parts) if parts else "repro"
+    return parts[-1] if parts else str(path)
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_files(paths: Sequence[Path], root: Path,
+               errors: list[str]) -> list[SourceFile]:
+    """Parse every ``.py`` file under ``paths`` (reporting parse failures)."""
+    files: list[SourceFile] = []
+    for py in _iter_py_files(paths):
+        try:
+            text = py.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(py))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{py}: {exc}")
+            continue
+        files.append(SourceFile(
+            path=py,
+            display=_display_path(py, root),
+            module=module_name_for(py),
+            tree=tree,
+            lines=text.splitlines(),
+        ))
+    return files
+
+
+def build_context(files: list[SourceFile]) -> AnalysisContext:
+    """Assemble the shared static context from the parsed files."""
+    from repro.analysis.thread_safety import lockless_class_names
+
+    modules = {sf.module: sf.tree for sf in files}
+    for sf in files:
+        sf.env = module_constants(sf.tree, modules)
+    return AnalysisContext(
+        files=files,
+        modules=modules,
+        devices=device_specs(modules),
+        lockless_classes=lockless_class_names([sf.tree for sf in files]),
+    )
+
+
+def default_passes() -> dict[str, PassFn]:
+    """The four passes, keyed by their rule-family prefix."""
+    from repro.analysis.determinism import check_determinism
+    from repro.analysis.fp16_safety import check_fp16_safety
+    from repro.analysis.kernel_contract import check_kernel_contract
+    from repro.analysis.thread_safety import check_thread_safety
+
+    return {
+        "ET1": check_kernel_contract,
+        "ET2": check_fp16_safety,
+        "ET3": check_determinism,
+        "ET4": check_thread_safety,
+    }
+
+
+def _disabled_rules(sf: SourceFile, lineno: int) -> set[str]:
+    """Rule ids inline-disabled for a finding anchored at ``lineno``.
+
+    A trailing comment applies to its own line; a comment-only line
+    applies to the line below it (so a disable never leaks from one
+    statement onto the next).
+    """
+    previous = sf.source_line(lineno - 1)
+    candidates = [sf.source_line(lineno)]
+    if previous.lstrip().startswith("#"):
+        candidates.append(previous)
+    disabled: set[str] = set()
+    for line in candidates:
+        match = _DISABLE_RE.search(line)
+        if match:
+            disabled.update(
+                token.strip().upper()
+                for token in match.group(1).split(",") if token.strip())
+    return disabled
+
+
+def _is_suppressed_inline(sf: SourceFile, finding: Finding) -> bool:
+    disabled = _disabled_rules(sf, finding.line)
+    return bool(disabled) and (finding.rule_id in disabled or "ALL" in disabled)
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Path | None = None,
+    baseline: Baseline | None = None,
+    rule_filter: Callable[[str], bool] | None = None,
+) -> AnalysisReport:
+    """Analyze ``paths`` and return the surviving findings.
+
+    ``rule_filter`` restricts reporting to matching rule ids (used by
+    ``--rules``); inline suppressions and the baseline apply after it.
+    """
+    root = root or Path.cwd()
+    errors: list[str] = []
+    files = load_files(paths, root, errors)
+    ctx = build_context(files)
+    raw: list[tuple[Finding, str]] = []
+    inline_suppressed = 0
+    for sf in files:
+        for check in default_passes().values():
+            for finding in check(sf, ctx):
+                if rule_filter is not None and not rule_filter(finding.rule_id):
+                    continue
+                if _is_suppressed_inline(sf, finding):
+                    inline_suppressed += 1
+                    continue
+                raw.append((finding, sf.source_line(finding.line)))
+    baseline_suppressed = 0
+    if baseline is not None:
+        survivors, baseline_suppressed = baseline.filter(raw)
+    else:
+        survivors = [finding for finding, _ in raw]
+    survivors.sort(key=Finding.sort_key)
+    return AnalysisReport(
+        findings=survivors,
+        files_scanned=len(files),
+        suppressed_inline=inline_suppressed,
+        suppressed_baseline=baseline_suppressed,
+        parse_errors=errors,
+    )
+
+
+def findings_with_lines(
+    paths: Sequence[Path], root: Path | None = None,
+) -> list[tuple[Finding, str]]:
+    """Raw (finding, source line) pairs — what ``--write-baseline`` covers.
+
+    Inline suppressions still apply (they are the preferred mechanism and
+    should not leak into a generated baseline).
+    """
+    root = root or Path.cwd()
+    errors: list[str] = []
+    files = load_files(paths, root, errors)
+    ctx = build_context(files)
+    raw: list[tuple[Finding, str]] = []
+    for sf in files:
+        for check in default_passes().values():
+            for finding in check(sf, ctx):
+                if not _is_suppressed_inline(sf, finding):
+                    raw.append((finding, sf.source_line(finding.line)))
+    raw.sort(key=lambda pair: pair[0].sort_key())
+    return raw

@@ -1,0 +1,228 @@
+"""Pass 4 — a lightweight race detector for the serving layer's shared state.
+
+The serving contract (DESIGN.md §7/§8) is that :class:`AsyncServer` owns
+one condition/lock and every mutation of its shared state — its own
+attributes *and* its deliberately lock-less collaborators
+(:class:`MetricsRegistry`, the tracer store) — happens while holding it;
+the deterministic :class:`Scheduler` is single-threaded and stays
+lock-free by design. This pass checks the statically checkable half of
+that contract:
+
+- a class that *owns* a lock attribute (``self._lock = threading.Lock()``,
+  an ``RLock`` or a ``Condition``) must guard every ``self.*`` write and
+  every mutating method call on a plain-container attribute with
+  ``with self.<lock>:`` outside ``__init__`` — ET401;
+- mutating calls on collaborator attributes whose classes were scanned
+  and own **no** lock (``self.metrics.observe_response(...)``) must be
+  under the owner's lock too — ET402.
+
+Classes without a lock attribute are skipped: they either are
+single-threaded by design (Scheduler) or rely on an owner's lock, which
+is exactly what ET402 checks from the owner's side.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.resolve import dotted_callee
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import AnalysisContext, SourceFile
+
+#: Constructors whose result makes an attribute a lock for this pass.
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "Lock", "RLock", "Condition",
+})
+
+#: Exact method names that mutate a plain container in place.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "discard",
+    "clear", "pop", "popleft", "popitem", "update", "setdefault", "add",
+    "push",
+})
+
+#: Method-name prefixes that mutate a collaborator's internal state.
+_COLLAB_MUTATOR_PREFIXES = ("observe_", "record_")
+
+#: Methods whose body is construction-time and exempt from the contract.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass
+class _ClassInfo:
+    """What the pass needs to know about one class definition."""
+
+    node: ast.ClassDef
+    lock_attrs: set[str] = field(default_factory=set)
+    #: attribute name -> class name it was constructed from in __init__
+    attr_classes: dict[str, str] = field(default_factory=dict)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X``, else ``None``."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _classify(cls: ast.ClassDef) -> _ClassInfo:
+    info = _ClassInfo(node=cls)
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = dotted_callee(value)
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None or ctor is None:
+                continue
+            if ctor in _LOCK_FACTORIES:
+                info.lock_attrs.add(attr)
+            elif "." not in ctor:
+                info.attr_classes[attr] = ctor
+    return info
+
+
+def collect_classes(tree: ast.Module) -> list[_ClassInfo]:
+    """Classify every top-level (or nested) class definition in a module."""
+    return [_classify(node) for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)]
+
+
+def lockless_class_names(trees: list[ast.Module]) -> set[str]:
+    """Names of scanned classes that do not own a lock attribute."""
+    names: set[str] = set()
+    for tree in trees:
+        for info in collect_classes(tree):
+            if not info.lock_attrs:
+                names.add(info.node.name)
+    return names
+
+
+class _MethodChecker(ast.NodeVisitor):
+    """Walks one method body tracking ``with self.<lock>`` nesting."""
+
+    def __init__(self, sf: "SourceFile", info: _ClassInfo,
+                 lockless: set[str]) -> None:
+        self.sf = sf
+        self.info = info
+        self.lockless = lockless
+        self.depth = 0
+        self.findings: list[Finding] = []
+
+    # -- lock scope tracking ------------------------------------------------
+
+    def _holds_lock(self, stmt: ast.With) -> bool:
+        for item in stmt.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.info.lock_attrs:
+                return True
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        held = self._holds_lock(node)
+        self.depth += 1 if held else 0
+        self.generic_visit(node)
+        self.depth -= 1 if held else 0
+
+    # -- mutation sites -----------------------------------------------------
+
+    def _written_attrs(self, target: ast.expr) -> list[tuple[ast.expr, str]]:
+        """(node, attr) pairs for every ``self.X`` a target writes."""
+        out: list[tuple[ast.expr, str]] = []
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                out.extend(self._written_attrs(elt))
+            return out
+        node: ast.expr = target
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        attr = _self_attr(node)
+        if attr is not None:
+            out.append((node, attr))
+        return out
+
+    def _flag_write(self, node: ast.expr, attr: str) -> None:
+        if self.depth > 0 or attr in self.info.lock_attrs:
+            return
+        locks = "/".join(sorted(self.info.lock_attrs))
+        self.findings.append(make_finding(
+            "ET401", self.sf.display, node.lineno, node.col_offset,
+            f"self.{attr} written outside 'with self.{locks}:' in "
+            f"{self.info.node.name}"))
+
+    def _check_targets(self, targets: list[ast.expr]) -> None:
+        for target in targets:
+            for node, attr in self._written_attrs(target):
+                self._flag_write(node, attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_targets(list(node.targets))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = _self_attr(func.value)
+            if owner is not None and owner not in self.info.lock_attrs:
+                self._check_method_call(node, func, owner)
+        self.generic_visit(node)
+
+    def _check_method_call(self, node: ast.Call, func: ast.Attribute,
+                           owner: str) -> None:
+        if self.depth > 0:
+            return
+        method = func.attr
+        owner_cls = self.info.attr_classes.get(owner)
+        locks = "/".join(sorted(self.info.lock_attrs))
+        if owner_cls is not None and owner_cls in self.lockless:
+            if method in _MUTATORS or \
+                    method.startswith(_COLLAB_MUTATOR_PREFIXES):
+                self.findings.append(make_finding(
+                    "ET402", self.sf.display, node.lineno, node.col_offset,
+                    f"self.{owner}.{method}(...) mutates lock-less "
+                    f"{owner_cls} outside 'with self.{locks}:'"))
+            return
+        if owner_cls is None and method in _MUTATORS:
+            # A plain container attribute (dict/list/deque/...).
+            self._flag_write(func.value, owner)
+
+
+def check_thread_safety(sf: "SourceFile",
+                        ctx: "AnalysisContext") -> list[Finding]:
+    """Run the race detector over one file's lock-owning classes."""
+    findings: list[Finding] = []
+    for info in collect_classes(sf.tree):
+        if not info.lock_attrs:
+            continue
+        for stmt in info.node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS:
+                continue
+            checker = _MethodChecker(sf, info, ctx.lockless_classes)
+            for body_stmt in stmt.body:
+                checker.visit(body_stmt)
+            findings.extend(checker.findings)
+    return findings

@@ -1,0 +1,503 @@
+"""Tests for the etlint static-analysis subsystem (repro.analysis).
+
+Each rule gets a positive fixture (a seeded violation the pass must catch)
+and a negative fixture (compliant code it must not flag), plus tests for
+inline suppression, the baseline round-trip, the CLI exit codes, and a run
+over the real tree asserting zero non-baselined findings.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, RULES, run_analysis
+from repro.analysis.__main__ import main as etlint_main
+from repro.analysis.baseline import line_hash
+from repro.analysis.runner import findings_with_lines, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path: Path, source: str, name: str = "snippet.py"):
+    """Write one fixture file and return the rule ids it triggers."""
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = run_analysis([target], root=tmp_path)
+    return [f.rule_id for f in report.findings], report
+
+
+# ---- pass 1: kernel contracts ---------------------------------------------
+
+
+def test_et101_over_budget_smem(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.gpu.kernel import KernelCost
+
+        cost = KernelCost(name="huge", smem_per_cta_bytes=200 * 1024)
+    """)
+    assert rules == ["ET101"]
+
+
+def test_et102_portability_smem(tmp_path):
+    # 128 KiB fits the A100 (164 KiB/SM) but not the V100S (96 KiB/SM).
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.gpu.kernel import KernelCost
+
+        cost = KernelCost(name="mid", smem_per_cta_bytes=128 * 1024)
+    """)
+    assert rules == ["ET102"]
+
+
+def test_kernel_contract_resolves_module_constants(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.gpu.kernel import KernelCost
+
+        TILE = 256
+        WIDTH = 1024
+        cost = KernelCost(name="c", smem_per_cta_bytes=TILE * WIDTH)
+    """)
+    assert rules == ["ET101"]
+
+
+def test_kernel_contract_skips_runtime_shapes(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.gpu.kernel import KernelCost
+
+        def build(smem):
+            return KernelCost(name="dyn", smem_per_cta_bytes=smem)
+    """)
+    assert rules == []
+
+
+def test_et103_misaligned_dk(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.onthefly import otf_smem_bytes
+
+        smem = otf_smem_bytes(128, 63)
+    """)
+    assert rules == ["ET103"]
+
+
+def test_et104_misaligned_tile_rows(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.onthefly import otf_smem_bytes
+
+        smem = otf_smem_bytes(128, 64, 2, False, tile_rows=24)
+    """)
+    assert rules == ["ET104"]
+
+
+def test_aligned_otf_site_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.onthefly import otf_smem_bytes
+
+        smem = otf_smem_bytes(128, 64, 2, False, tile_rows=16)
+    """)
+    assert rules == []
+
+
+def test_et101_via_otf_smem_formula(tmp_path):
+    # Equation 6 at seq_len 16384: 16*64*2 + 16*16384*2 B >> any SM budget.
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.onthefly import otf_smem_bytes
+
+        smem = otf_smem_bytes(16384, 64)
+    """)
+    assert rules == ["ET101"]
+
+
+# ---- pass 2: FP16 safety ---------------------------------------------------
+
+
+def test_et201_unscaled_pure_fp16_matmul(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.tensor.fp16 import fp16_matmul
+
+        def scores(q, k):
+            return fp16_matmul(q, k.T)
+    """)
+    assert rules == ["ET201"]
+
+
+def test_prescaled_or_fp32_matmul_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import numpy as np
+
+        from repro.tensor.fp16 import fp16_matmul
+
+        def scores(q, k, d_k):
+            a = fp16_matmul(q * (1.0 / np.sqrt(d_k)), k.T)
+            b = fp16_matmul(q, k.T, accumulate="fp32")
+            return a, b
+    """)
+    assert rules == []
+
+
+def test_et202_post_scale_fp16_scores(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.tensor.fp16 import attention_scores_overflow
+
+        def heatmap(q, k):
+            return attention_scores_overflow(q, k, 64, scale_first=False)
+    """)
+    assert rules == ["ET202"]
+
+
+def test_scale_first_scores_are_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.tensor.fp16 import attention_scores_overflow
+
+        def heatmap(q, k):
+            pre = attention_scores_overflow(q, k, 64, scale_first=True)
+            mixed = attention_scores_overflow(q, k, 64, False, "fp32")
+            return pre, mixed
+    """)
+    assert rules == []
+
+
+def test_et203_fp16_cast_of_raw_matmul(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.tensor.fp16 import to_fp16
+
+        def raw(q, k):
+            return to_fp16(q @ k)
+    """)
+    assert rules == ["ET203"]
+
+
+def test_fp16_cast_of_scaled_matmul_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.tensor.fp16 import to_fp16
+
+        def scaled(q, k, scale):
+            return to_fp16((q * scale) @ k)
+    """)
+    assert rules == []
+
+
+# ---- pass 3: determinism ---------------------------------------------------
+
+
+def test_et301_wall_clock(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert rules == ["ET301"]
+
+
+def test_et301_scope_excludes_cold_paths():
+    # repro.cli is outside the hot-path scope; repro.obs is inside.
+    from repro.analysis.determinism import in_hot_path
+
+    assert not in_hot_path("repro.cli")
+    assert not in_hot_path("repro.data.glue")
+    assert in_hot_path("repro.obs.trace")
+    assert in_hot_path("repro.serving.server")
+    assert in_hot_path("snippet")  # standalone fixtures always in scope
+
+
+def test_et302_unseeded_rng_variants(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import random
+
+        import numpy as np
+
+        a = np.random.default_rng()
+        b = np.random.rand(3)
+        c = random.choice([1, 2])
+    """)
+    assert rules == ["ET302", "ET302", "ET302"]
+
+
+def test_seeded_rng_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(4)
+    """)
+    assert rules == []
+
+
+def test_et303_set_iteration(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        def render(names):
+            lines = [n for n in set(names)]
+            return ",".join({n.upper() for n in lines})
+    """)
+    assert rules == ["ET303", "ET303"]
+
+
+def test_sorted_set_iteration_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        def render(names):
+            return ",".join(sorted(set(names)))
+    """)
+    assert rules == []
+
+
+# ---- pass 4: thread safety -------------------------------------------------
+
+THREADED_CLASS = """
+    import threading
+
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._queue = []
+            self.depth = 0
+
+        def _worker(self):
+            {worker_body}
+"""
+
+
+def test_et401_unlocked_writes(tmp_path):
+    body = "self._queue.append(1)\n            self.depth += 1"
+    rules, _ = lint_snippet(tmp_path,
+                            THREADED_CLASS.format(worker_body=body))
+    assert rules == ["ET401", "ET401"]
+
+
+def test_locked_writes_are_clean(tmp_path):
+    body = ("with self._lock:\n"
+            "                self._queue.append(1)\n"
+            "                self.depth += 1")
+    rules, _ = lint_snippet(tmp_path,
+                            THREADED_CLASS.format(worker_body=body))
+    assert rules == []
+
+
+def test_et401_condition_counts_as_lock(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import threading
+
+
+        class Server:
+            def __init__(self):
+                self._work = threading.Condition()
+                self._futures = {}
+
+            def submit(self, rid, fut):
+                with self._work:
+                    self._futures[rid] = fut
+
+            def cancel(self, rid):
+                self._futures.pop(rid, None)
+    """)
+    assert rules == ["ET401"]
+
+
+def test_et402_lockless_collaborator(tmp_path):
+    rules, report = lint_snippet(tmp_path, """
+        import threading
+
+
+        class Registry:
+            def __init__(self):
+                self.samples = []
+
+            def observe_response(self, value):
+                self.samples.append(value)
+
+
+        class Server:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.metrics = Registry()
+
+            def finish(self, value):
+                self.metrics.observe_response(value)
+
+            def finish_locked(self, value):
+                with self._lock:
+                    self.metrics.observe_response(value)
+    """)
+    assert rules == ["ET402"]
+    assert "Registry" in report.findings[0].message
+
+
+def test_lockless_classes_are_skipped(tmp_path):
+    # No lock attribute => single-threaded by design (like Scheduler).
+    rules, _ = lint_snippet(tmp_path, """
+        class Scheduler:
+            def __init__(self):
+                self.responses = []
+
+            def run(self, resp):
+                self.responses.append(resp)
+    """)
+    assert rules == []
+
+
+# ---- suppression and baseline ----------------------------------------------
+
+
+def test_inline_suppression(tmp_path):
+    rules, report = lint_snippet(tmp_path, """
+        import time
+
+        t0 = time.time()  # etlint: disable=ET301 timing boundary
+        t1 = time.time()
+    """)
+    assert rules == ["ET301"]
+    assert report.suppressed_inline == 1
+    assert report.findings[0].line == 5
+
+
+def test_inline_suppression_previous_line(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import time
+
+        # etlint: disable=ET301
+        t0 = time.time()
+    """)
+    assert rules == []
+
+
+def test_baseline_round_trip(tmp_path):
+    source = """
+        import time
+
+        t0 = time.time()
+    """
+    rules, _ = lint_snippet(tmp_path, source)
+    assert rules == ["ET301"]
+
+    raw = findings_with_lines([tmp_path / "snippet.py"], root=tmp_path)
+    baseline = Baseline.from_findings(raw)
+    baseline_path = tmp_path / "baseline.json"
+    baseline.save(baseline_path)
+
+    reloaded = Baseline.load(baseline_path)
+    report = run_analysis([tmp_path / "snippet.py"], root=tmp_path,
+                          baseline=reloaded)
+    assert report.findings == []
+    assert report.suppressed_baseline == 1
+
+
+def test_baseline_does_not_absorb_new_findings(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "import time\n\nt0 = time.time()\n")
+    raw = findings_with_lines([tmp_path / "snippet.py"], root=tmp_path)
+    baseline = Baseline.from_findings(raw)
+
+    # A second, different violation in the same file must still surface.
+    (tmp_path / "snippet.py").write_text(
+        "import time\n\nt0 = time.time()\nt1 = time.monotonic()\n",
+        encoding="utf-8")
+    report = run_analysis([tmp_path / "snippet.py"], root=tmp_path,
+                          baseline=baseline)
+    assert [f.rule_id for f in report.findings] == ["ET301"]
+    assert report.suppressed_baseline == 1
+    assert "monotonic" in report.findings[0].message
+
+
+def test_baseline_survives_line_renumbering(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "import time\n\nt0 = time.time()\n")
+    raw = findings_with_lines([tmp_path / "snippet.py"], root=tmp_path)
+    baseline = Baseline.from_findings(raw)
+
+    (tmp_path / "snippet.py").write_text(
+        "import time\n\n# a new comment shifts every line\n\nt0 = time.time()\n",
+        encoding="utf-8")
+    report = run_analysis([tmp_path / "snippet.py"], root=tmp_path,
+                          baseline=baseline)
+    assert report.findings == []
+
+
+def test_baseline_rejects_bad_documents(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ValueError):
+        Baseline.load(bad)
+    bad.write_text(json.dumps({"version": 99, "entries": []}),
+                   encoding="utf-8")
+    with pytest.raises(ValueError):
+        Baseline.load(bad)
+
+
+def test_line_hash_ignores_indentation():
+    assert line_hash("    x = 1") == line_hash("x = 1")
+    assert line_hash("x = 1") != line_hash("x = 2")
+
+
+# ---- CLI -------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_github_format(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text("import time\nt0 = time.time()\n",
+                                     encoding="utf-8")
+    assert etlint_main(["bad.py"]) == 1
+    capsys.readouterr()
+
+    assert etlint_main(["bad.py", "--format=github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=bad.py,line=2" in out and "ET301" in out
+
+    assert etlint_main(["missing_dir"]) == 2
+    assert etlint_main(["bad.py", "--rules", "ET9"]) == 2
+
+    # Restricting to another rule family reports nothing.
+    capsys.readouterr()
+    assert etlint_main(["bad.py", "--rules", "ET4"]) == 0
+
+
+def test_cli_write_baseline_round_trip(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text("import time\nt0 = time.time()\n",
+                                     encoding="utf-8")
+    assert etlint_main(["bad.py", "--write-baseline"]) == 0
+    assert (tmp_path / ".etlint-baseline.json").exists()
+    capsys.readouterr()
+    # The freshly written baseline (picked up by default) absorbs the finding.
+    assert etlint_main(["bad.py"]) == 0
+    assert etlint_main(["bad.py", "--no-baseline"]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert etlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_rule_registry_is_consistent():
+    assert len(RULES) == len({r.name for r in RULES.values()})
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule_id.startswith("ET") and rule_id[2:].isdigit()
+        assert rule.invariant and rule.hint and rule.paper_ref
+
+
+def test_module_name_mapping():
+    assert module_name_for(Path("src/repro/serving/server.py")) == \
+        "repro.serving.server"
+    assert module_name_for(Path("src/repro/gpu/__init__.py")) == "repro.gpu"
+    assert module_name_for(Path("/tmp/xyz/snippet.py")) == "snippet"
+
+
+# ---- the real tree ---------------------------------------------------------
+
+
+def test_real_tree_is_clean():
+    """`python -m repro.analysis src` exits 0 on the repo after fixes."""
+    report = run_analysis([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert report.parse_errors == []
+    assert report.findings == [], "\n".join(
+        f.format_text() for f in report.findings)
+    # The designated suppressions exist (timing boundary + overflow study).
+    assert report.suppressed_inline >= 4
+
+
+def test_committed_baseline_is_valid_and_lean():
+    baseline = Baseline.load(REPO_ROOT / ".etlint-baseline.json")
+    assert sum(baseline.entries.values()) <= 5  # stays near-empty

@@ -20,14 +20,26 @@ Checks (the CI trace-smoke step runs this against a ``loadgen`` run):
 - the metrics file parses as Prometheus text exposition (0.0.4) and
   contains every required series.
 
-Exits non-zero with a message per failed check.
+Exit codes identify which contract broke (CI log triage):
+
+- ``0`` — both artifacts pass every check;
+- ``2`` — usage error (argparse);
+- ``3`` — the Chrome trace failed structural validation;
+- ``4`` — the Prometheus exposition failed validation;
+- ``5`` — both artifacts failed.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import re
 import sys
+
+EXIT_OK = 0
+EXIT_TRACE = 3
+EXIT_METRICS = 4
+EXIT_BOTH = 5
 
 REQUIRED_KERNEL_ARGS = ("gld_transactions", "gst_transactions",
                         "sm_efficiency", "achieved_gbs")
@@ -150,18 +162,42 @@ def check_metrics(path: str, errors: list[str]) -> None:
     print(f"metrics: {len(names)} series validated")
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python tools/check_trace.py",
+        description="Validate a Chrome trace_event JSON file and a "
+                    "Prometheus text-exposition file produced by "
+                    "'python -m repro loadgen/serve'.",
+        epilog="Exit codes: 0 ok, 2 usage, 3 trace invalid, "
+               "4 metrics invalid, 5 both invalid.",
+    )
+    parser.add_argument(
+        "trace",
+        help="Chrome trace_event JSON (from --trace-out); checked for "
+             "span-chain completeness and Fig. 11/12 kernel counters")
+    parser.add_argument(
+        "metrics",
+        help="Prometheus 0.0.4 text exposition (from --metrics-out); "
+             "checked line-by-line and for required series")
+    return parser
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__)
-        return 2
-    errors: list[str] = []
-    check_trace(argv[0], errors)
-    check_metrics(argv[1], errors)
-    for err in errors:
+    args = build_parser().parse_args(argv)
+    trace_errors: list[str] = []
+    metrics_errors: list[str] = []
+    check_trace(args.trace, trace_errors)
+    check_metrics(args.metrics, metrics_errors)
+    for err in trace_errors + metrics_errors:
         print(f"FAIL: {err}", file=sys.stderr)
-    if not errors:
-        print("OK: trace and metrics pass all checks")
-    return 1 if errors else 0
+    if trace_errors and metrics_errors:
+        return EXIT_BOTH
+    if trace_errors:
+        return EXIT_TRACE
+    if metrics_errors:
+        return EXIT_METRICS
+    print("OK: trace and metrics pass all checks")
+    return EXIT_OK
 
 
 if __name__ == "__main__":
