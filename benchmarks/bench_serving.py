@@ -8,15 +8,42 @@ table should show:
 - finer crossover-aligned bucket policies trade batch fullness for less
   length spread inside a batch; every policy keeps the full/partial-OTF
   regimes unmixed (the crossover is always a bucket edge).
+
+Besides the pytest-benchmark sweep, ``python benchmarks/bench_serving.py
+--json`` writes ``BENCH_serving.json`` at the repo root: the loadgen
+serving metrics (throughput, p50/p95/p99 — identical for packed and
+serial execution by construction) plus measured wall-clock speedups of
+the packed batch path over per-request execution on the ET engine. The
+process exits nonzero if packed execution is ever slower than serial at
+batch ≥ 8, which is what CI's perf-smoke job checks.
 """
 
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.config import small_config
 from repro.eval.format import render_table
+from repro.pruning import PruneMethod
+from repro.runtime import EncoderWeights, ETEngine
 from repro.serving import LoadgenSpec, run_loadgen
 
 from _util import emit, once
 
 RATES = (200.0, 1000.0, 5000.0)
 POLICIES = ("single", "fine32", "fine64")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Wall-clock speedup grid: the serving sweet spot (short sequences, the
+#: regime where per-request overhead dominates) at and above the
+#: scheduler's default max_batch.
+SPEEDUP_SEQ_LENS = (16, 32)
+SPEEDUP_BATCHES = (8, 16, 32)
 
 
 def _sweep():
@@ -55,3 +82,108 @@ def test_bench_serving(benchmark):
     # every cell served real traffic
     for row in rows:
         assert row[6] > 0.0  # throughput seq/s
+
+
+# ---- `--json` mode: BENCH_serving.json for CI's perf-smoke job ----------
+
+
+def _bench_engine(seed: int = 0) -> ETEngine:
+    """The serving-shaped engine the speedup grid measures (ET, pruned)."""
+    cfg = small_config(name="serve-small", max_seq_len=64)
+    weights = EncoderWeights.random(cfg, np.random.default_rng(seed), 1)
+    weights.prune(PruneMethod.ATTENTION_AWARE, 0.8)
+    return ETEngine(weights)
+
+
+def measure_packed_speedup(engine: ETEngine, seq_len: int, batch: int,
+                           repeats: int = 7, seed: int = 0) -> dict:
+    """Best-of-``repeats`` wall-clock of one batch, packed vs per-request.
+
+    Both paths produce bitwise identical results (tests/test_packed.py),
+    so this is a pure execution-efficiency measurement.
+    """
+    rng = np.random.default_rng(seed)
+    d_model = engine.weights.config.d_model
+    xs = [rng.standard_normal((seq_len, d_model)) for _ in range(batch)]
+    best: dict[bool, float] = {}
+    for packed in (False, True):
+        engine.run_batch(xs, packed=packed)  # warm caches and plans
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            engine.run_batch(xs, packed=packed)
+            times.append(time.perf_counter() - t0)
+        best[packed] = min(times)
+    return {
+        "seq_len": seq_len,
+        "batch": batch,
+        "serial_ms": round(best[False] * 1e3, 3),
+        "packed_ms": round(best[True] * 1e3, 3),
+        "speedup": round(best[False] / best[True], 2),
+    }
+
+
+def _loadgen_summary() -> dict:
+    """One representative packed loadgen run's serving metrics."""
+    spec = LoadgenSpec(
+        engine="et", model="small", rate_per_s=1000.0, num_requests=120,
+        seed=0, max_seq_len=64, seq_step=16, policy="fine64", workers=2,
+        max_batch=8, max_wait_us=2_000.0, max_depth=64, packed=True,
+    )
+    m = run_loadgen(spec).metrics.snapshot()
+    return {
+        "engine": spec.engine,
+        "model": spec.model,
+        "rate_per_s": spec.rate_per_s,
+        "num_requests": spec.num_requests,
+        "policy": spec.policy,
+        "max_batch": spec.max_batch,
+        "throughput_seq_s": m["throughput_seq_s"],
+        "p50_latency_us": m["p50_latency_us"],
+        "p95_latency_us": m["p95_latency_us"],
+        "p99_latency_us": m["p99_latency_us"],
+        "mean_batch_size": m["mean_batch_size"],
+        "completed": int(m["completed"]),
+        "rejected": int(m["rejected"]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``--json`` writes BENCH_serving.json at repo root."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", action="store_true",
+                    help="write BENCH_serving.json and exit nonzero if the "
+                         "packed path is slower than serial at batch >= 8")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=REPO_ROOT / "BENCH_serving.json")
+    ap.add_argument("--repeats", type=int, default=7)
+    args = ap.parse_args(argv)
+    if not args.json:
+        ap.error("nothing to do: pass --json (the sweep runs under pytest)")
+
+    engine = _bench_engine()
+    grid = [measure_packed_speedup(engine, s, b, repeats=args.repeats)
+            for s in SPEEDUP_SEQ_LENS for b in SPEEDUP_BATCHES]
+    best = max(grid, key=lambda r: r["speedup"])
+    report = {
+        "loadgen": _loadgen_summary(),
+        "packed_speedup": grid,
+        "best_speedup": best["speedup"],
+        "best_config": {"seq_len": best["seq_len"], "batch": best["batch"]},
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(render_table(
+        ["seq_len", "batch", "serial ms", "packed ms", "speedup"],
+        [[r["seq_len"], r["batch"], r["serial_ms"], r["packed_ms"],
+          f'{r["speedup"]}x'] for r in grid],
+        title=f"packed vs serial wall clock — {args.out}"))
+    slow = [r for r in grid if r["speedup"] < 1.0]
+    if slow:
+        print(f"FAIL: packed slower than serial at {slow}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

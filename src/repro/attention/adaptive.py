@@ -47,6 +47,35 @@ def select_attention(
     return partial_otf_attention(ctx, q, k, v, mask, **kw), "partial_otf"
 
 
+def packed_select_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None,
+    choice: str,
+) -> np.ndarray:
+    """Replay a plan-recorded full/partial choice over a packed batch.
+
+    The packed path never re-runs the cost comparison (that — including the
+    two scratch numerics passes :func:`select_attention` pays per call — was
+    done once at plan-compile time); it dispatches straight to the recorded
+    winner's numerics-only twin. Both twins compute identical math, so the
+    choice only matters for cost provenance, which the plan replays anyway.
+    """
+    from repro.attention.onthefly import packed_otf_attention
+    from repro.attention.partial import packed_partial_otf_attention
+
+    impls = {
+        "otf": packed_otf_attention,
+        "partial_otf": packed_partial_otf_attention,
+    }
+    try:
+        impl = impls[choice]
+    except KeyError:
+        raise ValueError(f"unknown attention choice {choice!r}") from None
+    return impl(q, k, v, mask)
+
+
 def otf_crossover_seqlen(
     ctx: ExecContext,
     num_heads: int,

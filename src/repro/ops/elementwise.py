@@ -17,8 +17,23 @@ _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
-    """tanh-approximated GELU (the BERT convention)."""
-    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+    """tanh-approximated GELU (the BERT convention).
+
+    Computes ``0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`` with in-place
+    ufuncs — one scratch array, and ``x·x·x`` instead of ``x**3`` (NumPy
+    routes float ``**3`` through libm ``pow``, which is several times
+    slower for the same cubic).
+    """
+    inner = x * x
+    inner *= x
+    inner *= 0.044715
+    inner += x
+    inner *= _SQRT_2_OVER_PI
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= x
+    inner *= 0.5
+    return inner
 
 
 def relu(x: np.ndarray) -> np.ndarray:

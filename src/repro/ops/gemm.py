@@ -122,6 +122,64 @@ def gemm(
     return a @ b
 
 
+def gemm_epilogue(
+    y: np.ndarray,
+    bias: np.ndarray | None = None,
+    act: str | None = None,
+    residual: np.ndarray | None = None,
+    ln_gamma: np.ndarray | None = None,
+    ln_beta: np.ndarray | None = None,
+    ln_eps: float = 1e-5,
+) -> np.ndarray:
+    """The fused-GEMM epilogue numerics: bias, activation, residual, LN.
+
+    Shared by the serial kernel (:func:`gemm_bias_act`) and the packed batch
+    path (:func:`packed_gemm_bias_act`) so the two execute the exact same
+    floating-point operations in the exact same order — the packed path's
+    bitwise-equality contract depends on this being single-sourced.
+    """
+    from repro.ops.elementwise import gelu, relu  # local import to avoid cycle
+
+    if bias is not None:
+        y = y + bias
+    if act == "gelu":
+        y = gelu(y)
+    elif act == "relu":
+        y = relu(y)
+    elif act is not None:
+        raise ValueError(f"unknown activation: {act!r}")
+    if residual is not None:
+        y = y + residual
+    if ln_gamma is not None:
+        mu = y.mean(axis=-1, keepdims=True)
+        var = y.var(axis=-1, keepdims=True)
+        y = (y - mu) / np.sqrt(var + ln_eps) * ln_gamma + ln_beta
+    return y
+
+
+def packed_gemm_bias_act(
+    a: np.ndarray,
+    w_t: np.ndarray,
+    bias: np.ndarray | None = None,
+    act: str | None = None,
+    residual: np.ndarray | None = None,
+    ln_gamma: np.ndarray | None = None,
+    ln_beta: np.ndarray | None = None,
+    ln_eps: float = 1e-5,
+) -> np.ndarray:
+    """Numerics-only fused GEMM over a packed ``(B, s, k)`` batch.
+
+    No kernel launch: the packed execution path replays costs from the
+    compiled :class:`~repro.runtime.plan.LayerPlan`. ``a @ w_t`` over a
+    stacked batch computes each ``(s, k) @ (k, n)`` slice with the same
+    reduction order as the serial call, so outputs match bitwise.
+    """
+    if a.shape[-1] != w_t.shape[0]:
+        raise ValueError(f"gemm shape mismatch: {a.shape} @ {w_t.shape}")
+    return gemm_epilogue(a @ w_t, bias, act, residual, ln_gamma, ln_beta,
+                         ln_eps)
+
+
 def gemm_bias_act(
     ctx: ExecContext,
     a: np.ndarray,
@@ -144,8 +202,6 @@ def gemm_bias_act(
     kernel only adds the bias/residual loads and the epilogue FLOPs — no
     extra global round trip for the GEMM result.
     """
-    from repro.ops.elementwise import gelu, relu  # local import to avoid cycle
-
     if a.shape[-1] != w_t.shape[0]:
         raise ValueError(f"gemm shape mismatch: {a.shape} @ {w_t.shape}")
     m = int(np.prod(a.shape[:-1]))
@@ -174,22 +230,8 @@ def gemm_bias_act(
         )
     )
 
-    y = a @ w_t
-    if bias is not None:
-        y = y + bias
-    if act == "gelu":
-        y = gelu(y)
-    elif act == "relu":
-        y = relu(y)
-    elif act is not None:
-        raise ValueError(f"unknown activation: {act!r}")
-    if residual is not None:
-        y = y + residual
-    if ln_gamma is not None:
-        mu = y.mean(axis=-1, keepdims=True)
-        var = y.var(axis=-1, keepdims=True)
-        y = (y - mu) / np.sqrt(var + ln_eps) * ln_gamma + ln_beta
-    return y
+    return gemm_epilogue(a @ w_t, bias, act, residual, ln_gamma, ln_beta,
+                         ln_eps)
 
 
 def batched_gemm(

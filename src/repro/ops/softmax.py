@@ -29,10 +29,15 @@ def causal_mask(seq_len: int) -> np.ndarray:
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Reference max-subtracted softmax (pure numerics, no kernel)."""
-    shifted = x - x.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    """Reference max-subtracted softmax (pure numerics, no kernel).
+
+    The exp and the normalizing divide run in place on the shifted scratch
+    array — same operations and order, one temporary instead of three.
+    """
+    e = x - x.max(axis=axis, keepdims=True)
+    np.exp(e, out=e)
+    e /= e.sum(axis=axis, keepdims=True)
+    return e
 
 
 def _score_pattern(ctx: ExecContext, scores: np.ndarray) -> MemPattern:
@@ -104,6 +109,21 @@ def masked_softmax(
             tag=tag or "masked_softmax",
         )
     )
+    return packed_masked_softmax(scores, mask, scale_factor)
+
+
+def packed_masked_softmax(
+    scores: np.ndarray,
+    mask: np.ndarray | None = None,
+    scale_factor: float | None = None,
+) -> np.ndarray:
+    """Numerics-only scale+mask+softmax for the packed batch path.
+
+    Single-sourced with :func:`masked_softmax` (which delegates here after
+    launching its cost) so serial and packed attention apply the identical
+    op order; the packed path replays costs from its compiled plan instead
+    of launching.
+    """
     s = scores if scale_factor is None else scores * scale_factor
     if mask is not None:
         s = s + mask

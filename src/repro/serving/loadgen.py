@@ -73,6 +73,7 @@ class LoadgenSpec:
     max_batch: int = 8
     max_wait_us: float = 2_000.0
     max_depth: int = 64
+    packed: bool | None = None  # None = engine decides (packed when able)
 
     def model_config(self) -> ModelConfig:
         if self.model == "small":
@@ -191,7 +192,7 @@ def run_loadgen(spec: LoadgenSpec,
     policy = make_policy(spec.policy, crossover, max(payloads))
     batcher = DynamicBatcher(policy, max_batch=spec.max_batch,
                              max_wait_us=spec.max_wait_us)
-    workers = [EngineWorker(engine, memoize_by_len=True)
+    workers = [EngineWorker(engine, memoize_by_len=True, packed=spec.packed)
                for _ in range(spec.workers)]
     sched = Scheduler(
         workers=workers, batcher=batcher,

@@ -75,11 +75,18 @@ class EngineWorker:
     generator does exactly that (it pre-builds one input per length), which
     turns a 200-request sweep into O(unique lengths) engine executions
     without changing a single reported number.
+
+    ``packed`` is forwarded to :meth:`Engine.run_batch`: ``None`` (default)
+    lets the engine use its packed batch path whenever it has one, and the
+    batcher's buckets pass through whole — both paths produce bitwise
+    identical results, so reports do not depend on the setting.
     """
 
-    def __init__(self, engine: Engine, memoize_by_len: bool = False) -> None:
+    def __init__(self, engine: Engine, memoize_by_len: bool = False,
+                 packed: bool | None = None) -> None:
         self.engine = engine
         self.memoize_by_len = memoize_by_len
+        self.packed = packed
         self._cache: dict[int, EngineResult] = {}
         self.batches_run = 0
         self.busy_us = 0.0
@@ -93,7 +100,7 @@ class EngineWorker:
             if missing:
                 todo = {r.seq_len: r for r in missing}
                 results, _ = self.engine.run_batch(
-                    [r.x for r in todo.values()])
+                    [r.x for r in todo.values()], packed=self.packed)
                 for s, res in zip(todo, results):
                     self._cache[s] = res
             results = []
@@ -105,7 +112,8 @@ class EngineWorker:
             service_us = sum(res.timeline.total_time_us for res in results)
         else:
             results, agg = self.engine.run_batch(
-                [r.x for r in reqs], [r.mask for r in reqs])
+                [r.x for r in reqs], [r.mask for r in reqs],
+                packed=self.packed)
             service_us = agg.total_time_us
         self.batches_run += 1
         self.busy_us += service_us

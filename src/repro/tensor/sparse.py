@@ -19,6 +19,7 @@ that consume them live in :mod:`repro.ops.sparse_gemm`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -161,6 +162,14 @@ class TileBCSR:
     tiles: np.ndarray  # (num_tiles, r, c)
     dtype: np.dtype = field(default=np.dtype(np.float32))
 
+    #: Cap on gather-buffer elements per matmul chunk — bounds scratch memory
+    #: to a few MB however many tiles survive pruning.
+    _CHUNK_ELEMS = 1 << 18
+
+    def __post_init__(self) -> None:
+        self._scratch = threading.local()
+        self._row_of: np.ndarray | None = None
+
     @classmethod
     def from_dense(
         cls,
@@ -222,18 +231,66 @@ class TileBCSR:
         Output tile-column block ``i`` accumulates ``x_block(j) @ W_tile(i,j)ᵀ``
         over the occupied tiles of tile-row ``i``. Semantics match the dense
         masked product exactly.
+
+        The per-tile products run as batched GEMMs over chunks of the stored
+        tiles (one input-block gather plus one ``(k, n, c) @ (k, c, r)``
+        matmul per chunk, into per-thread reused scratch buffers);
+        accumulation then walks the tiles in CSR order, so each output block
+        sums its contributions in exactly the per-tile loop's order and the
+        result is bitwise identical to it. Each tile's product is an
+        independent GEMM whose rows also reduce independently, which makes
+        the result independent of both the chunking and of how many leading
+        rows are batched together — the packed execution path's equivalence
+        tests pin these properties down.
         """
         r, c = self.tile
         p, q = self.bitmap.shape
-        out = np.zeros((*x.shape[:-1], p * r), dtype=np.result_type(x, self.tiles))
-        k = 0
-        for i in range(p):
-            oi = slice(i * r, (i + 1) * r)
-            for j in self.col_idx[self.row_ptr[i] : self.row_ptr[i + 1]]:
-                xj = x[..., j * c : (j + 1) * c]
-                out[..., oi] += xj @ self.tiles[k].T
-                k += 1
+        lead = x.shape[:-1]
+        out = np.zeros((*lead, p * r), dtype=np.result_type(x, self.tiles))
+        kk = self.num_tiles
+        if kk == 0:
+            return out
+        n = int(np.prod(lead)) if lead else 1
+        x3 = x.reshape(n, q, c)
+        out2 = out.reshape(n, p, r)
+        row_of = self._row_of
+        if row_of is None:
+            row_of = self._row_of = np.repeat(
+                np.arange(p), np.diff(self.row_ptr))
+        chunk = min(kk, max(1, self._CHUNK_ELEMS // (n * c)))
+        xg_full, prod_full = self._buffers(n, chunk, x3.dtype, out.dtype)
+        tiles_t = self.tiles.transpose(0, 2, 1)
+        for k0 in range(0, kk, chunk):
+            kc = min(chunk, kk - k0)
+            xg = xg_full[:, :kc, :]
+            prod = prod_full[:kc]
+            np.take(x3, self.col_idx[k0:k0 + kc], axis=1, out=xg)
+            np.matmul(xg.transpose(1, 0, 2), tiles_t[k0:k0 + kc], out=prod)
+            for k in range(kc):
+                out2[:, row_of[k0 + k], :] += prod[k]
         return out
+
+    def _buffers(self, n: int, chunk: int, x_dtype: np.dtype,
+                 out_dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        """Per-thread gather/product scratch for :meth:`matmul`.
+
+        Keyed by the shapes and dtypes in play; ``threading.local`` keeps
+        concurrent engines (one per :class:`AsyncServer` worker thread) from
+        sharing buffers. Only scratch lives here — the returned output array
+        is freshly allocated on every call.
+        """
+        r, c = self.tile
+        cache = getattr(self._scratch, "bufs", None)
+        if cache is None:
+            cache = self._scratch.bufs = {}
+        key = (n, chunk, x_dtype, out_dtype)
+        got = cache.get(key)
+        if got is None:
+            got = cache[key] = (
+                np.empty((n, chunk, c), dtype=x_dtype),
+                np.empty((chunk, n, r), dtype=out_dtype),
+            )
+        return got
 
 
 def dense_from_mask(w: np.ndarray, mask: np.ndarray) -> np.ndarray:
