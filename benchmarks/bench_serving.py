@@ -12,14 +12,23 @@ table should show:
 Besides the pytest-benchmark sweep, ``python benchmarks/bench_serving.py
 --json`` writes ``BENCH_serving.json`` at the repo root: the loadgen
 serving metrics (throughput, p50/p95/p99 — identical for packed and
-serial execution by construction) plus measured wall-clock speedups of
-the packed batch path over per-request execution on the ET engine. The
-process exits nonzero if packed execution is ever slower than serial at
-batch ≥ 8, which is what CI's perf-smoke job checks.
+serial execution by construction), measured wall-clock speedups of the
+packed batch path over per-request execution on the ET engine, and a
+``pool`` section driving the same seeded request mix through the
+thread-backed :class:`AsyncServer` and the multi-process
+:class:`PoolServer` (2 replicas, shared-memory weights). Each backend is
+measured as its CLI driver configures it — the pool's per-replica plan
+caches, per-length memoization and packed execution are features of the
+backend, not bench knobs. The process exits nonzero if packed execution
+is ever slower than serial at batch ≥ 8, if the pool's outputs are not
+bitwise identical to the thread backend's, or if pool throughput at
+batch ≥ 8 falls below the thread backend — what CI's perf-smoke job
+checks.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -30,7 +39,15 @@ from repro.config import small_config
 from repro.eval.format import render_table
 from repro.pruning import PruneMethod
 from repro.runtime import EncoderWeights, ETEngine
-from repro.serving import LoadgenSpec, run_loadgen
+from repro.serving import (
+    AsyncServer,
+    LoadgenSpec,
+    make_policy,
+    model_crossover,
+    run_loadgen,
+)
+from repro.serving.loadgen import build_engine, build_payloads
+from repro.serving.pool import build_pool_server, drive_server
 
 from _util import emit, once
 
@@ -148,6 +165,76 @@ def _loadgen_summary() -> dict:
     }
 
 
+def _pool_spec(n_workers: int, num_requests: int = 96) -> LoadgenSpec:
+    """The seeded workload both live backends serve (batches fill to 8)."""
+    return LoadgenSpec(
+        engine="et", model="small", rate_per_s=1000.0,
+        num_requests=num_requests, seed=0, max_seq_len=64, seq_step=16,
+        policy="fine64", workers=n_workers, max_batch=8,
+        max_wait_us=2_000.0, max_depth=64, packed=True,
+    )
+
+
+def _best_drive(server, spec, payloads, repeats: int) -> tuple[float, list]:
+    """Warm once, then best-of-``repeats`` wall clock of the seeded mix."""
+    responses = drive_server(server, spec, payloads)  # warm plans/caches
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        responses = drive_server(server, spec, payloads)
+        best = min(best, time.perf_counter() - t0)
+    return best, responses
+
+
+def measure_pool_vs_thread(n_workers: int = 2, repeats: int = 3) -> dict:
+    """Pool-vs-thread throughput on the same seeded mix, plus bitwise check.
+
+    Each backend runs exactly as its CLI driver builds it: the thread
+    :class:`AsyncServer` with one engine per worker thread, the
+    :class:`PoolServer` with ``n_workers`` replica processes attached to
+    one shared-memory weight segment. Outputs must be bitwise identical
+    (engine outputs are a pure function of the input sequence).
+    """
+    spec = _pool_spec(n_workers)
+    payloads = build_payloads(spec)
+    cfg = spec.model_config()
+    engines = [build_engine(spec) for _ in range(n_workers)]
+    crossover = model_crossover(cfg.num_heads, cfg.d_head, max(payloads),
+                                device=engines[0].device)
+    policy = make_policy(spec.policy, crossover, max(payloads))
+    thread_server = AsyncServer(engines, policy, max_batch=spec.max_batch,
+                                max_wait_us=spec.max_wait_us,
+                                max_depth=spec.max_depth)
+    with thread_server:
+        thread_s, thread_resp = _best_drive(thread_server, spec, payloads,
+                                            repeats)
+
+    pool_server, pool_payloads, _, _ = build_pool_server(spec, n_workers)
+    with pool_server:
+        pool_s, pool_resp = _best_drive(pool_server, spec, pool_payloads,
+                                        repeats)
+        snapshot = pool_server.pool_snapshot()
+
+    equal = len(thread_resp) == len(pool_resp) and all(
+        a.output is not None and b.output is not None
+        and np.array_equal(a.output, b.output)
+        for a, b in zip(thread_resp, pool_resp))
+    return {
+        "workers": n_workers,
+        "num_requests": spec.num_requests,
+        "max_batch": spec.max_batch,
+        "cpus": os.cpu_count(),
+        "thread_s": round(thread_s, 4),
+        "pool_s": round(pool_s, 4),
+        "thread_seq_s": round(spec.num_requests / thread_s, 1),
+        "pool_seq_s": round(spec.num_requests / pool_s, 1),
+        "pool_vs_thread": round(thread_s / pool_s, 2),
+        "outputs_bitwise_equal": equal,
+        "steals": int(snapshot["steals"]),
+        "shm_bytes": int(snapshot["shm_bytes"]),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: ``--json`` writes BENCH_serving.json at repo root."""
     ap = argparse.ArgumentParser(description=__doc__)
@@ -157,6 +244,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=pathlib.Path,
                     default=REPO_ROOT / "BENCH_serving.json")
     ap.add_argument("--repeats", type=int, default=7)
+    ap.add_argument("--pool-workers", type=int, default=2,
+                    help="replica processes for the pool-vs-thread section "
+                         "(0 skips it)")
     args = ap.parse_args(argv)
     if not args.json:
         ap.error("nothing to do: pass --json (the sweep runs under pytest)")
@@ -171,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
         "best_speedup": best["speedup"],
         "best_config": {"seq_len": best["seq_len"], "batch": best["batch"]},
     }
+    pool = None
+    if args.pool_workers > 0:
+        pool = measure_pool_vs_thread(n_workers=args.pool_workers)
+        report["pool"] = pool
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     print(render_table(
@@ -178,11 +272,31 @@ def main(argv: list[str] | None = None) -> int:
         [[r["seq_len"], r["batch"], r["serial_ms"], r["packed_ms"],
           f'{r["speedup"]}x'] for r in grid],
         title=f"packed vs serial wall clock — {args.out}"))
+    if pool is not None:
+        print(render_table(
+            ["backend", "workers", "wall s", "seq/s"],
+            [["thread (AsyncServer)", pool["workers"], pool["thread_s"],
+              pool["thread_seq_s"]],
+             ["pool (PoolServer)", pool["workers"], pool["pool_s"],
+              pool["pool_seq_s"]]],
+            title=f'pool vs thread — {pool["num_requests"]} requests, '
+                  f'batch {pool["max_batch"]}, {pool["cpus"]} cpus'))
+    failed = False
     slow = [r for r in grid if r["speedup"] < 1.0]
     if slow:
         print(f"FAIL: packed slower than serial at {slow}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if pool is not None:
+        if not pool["outputs_bitwise_equal"]:
+            print("FAIL: pool outputs differ from thread backend",
+                  file=sys.stderr)
+            failed = True
+        if pool["pool_seq_s"] < pool["thread_seq_s"]:
+            print(f"FAIL: pool throughput {pool['pool_seq_s']} seq/s below "
+                  f"thread backend {pool['thread_seq_s']} seq/s",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """`etlint` — repo-specific static analysis for the E.T. reproduction.
 
-Four AST passes enforce the invariants the engine's correctness rests on,
+Five AST passes enforce the invariants the engine's correctness rests on,
 at analysis time instead of at runtime:
 
 1. **kernel-contract** (ET1xx): Equation 6 shared-memory budgets and
@@ -13,6 +13,9 @@ at analysis time instead of at runtime:
    iteration in the paths that back the byte-identical-trace guarantee.
 4. **thread-safety** (ET4xx): ``self.*`` writes and lock-less-collaborator
    mutations in lock-owning serving classes must hold the class's lock.
+5. **process-safety** (ET5xx): ``multiprocessing.shared_memory`` may only
+   be touched by the pool's weight-store module
+   (:mod:`repro.runtime.shm`), which owns the segment lifecycle.
 
 Run ``python -m repro.analysis`` (or ``tools/etlint.py``); see
 ``--list-rules`` for the rule catalogue and DESIGN.md §9 for the mapping

@@ -13,7 +13,9 @@ reference them) and grouped by pass:
 - ``ET3xx`` — determinism of the byte-identical trace/artifact paths,
   :mod:`repro.analysis.determinism`;
 - ``ET4xx`` — thread-safety of the serving layer's shared state,
-  :mod:`repro.analysis.thread_safety`.
+  :mod:`repro.analysis.thread_safety`;
+- ``ET5xx`` — process-safety of the replica pool's shared-memory
+  plumbing, :mod:`repro.analysis.process_safety`.
 """
 
 from __future__ import annotations
@@ -198,6 +200,20 @@ _RULE_LIST: tuple[Rule, ...] = (
                   "mutating call in its own lock.",
         hint="move the call under 'with self.<lock>:'",
         paper_ref="serving layer thread contract (DESIGN.md §7)",
+    ),
+    Rule(
+        rule_id="ET501",
+        name="shared-memory-outside-weight-store",
+        summary="Direct multiprocessing.shared_memory use outside the weight-store module",
+        invariant="Every shared-memory segment is owned by "
+                  "repro.runtime.shm, which centralises the "
+                  "create/attach/close/unlink lifecycle and the "
+                  "resource-tracker workaround; direct use elsewhere can "
+                  "leak segments when a worker dies.",
+        hint="go through repro.runtime.shm.SharedWeightStore (or add a "
+             "helper there) instead of importing "
+             "multiprocessing.shared_memory",
+        paper_ref="replica pool process contract (DESIGN.md §11)",
     ),
 )
 

@@ -1,0 +1,104 @@
+"""Pass 5 — process-safety of the shared-memory weight plumbing.
+
+The replica pool's crash-safety story (DESIGN.md §11) rests on one
+module owning every shared-memory segment:
+:mod:`repro.runtime.shm` centralises creation, attachment,
+resource-tracker workarounds (bpo-38119) and the close/unlink
+lifecycle, so a worker death can never leak a segment that nothing
+knows how to reclaim. Any other module importing
+``multiprocessing.shared_memory`` (or reaching it through a
+``multiprocessing`` alias) bypasses that ownership and re-opens the
+leak — ET501.
+
+Standalone files (fixtures, scripts) are in scope like every other
+pass; only the weight-store module itself is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, make_finding
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import AnalysisContext, SourceFile
+
+#: The one module allowed to touch multiprocessing.shared_memory.
+SHM_OWNER_MODULE = "repro.runtime.shm"
+
+_SHM_MODULE = "multiprocessing.shared_memory"
+
+
+def _owner_exempt(module: str) -> bool:
+    return module == SHM_OWNER_MODULE
+
+
+def _import_findings(sf: "SourceFile") -> list[Finding]:
+    """ET501 findings for import statements naming the shm module."""
+    findings: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _SHM_MODULE \
+                        or alias.name.startswith(_SHM_MODULE + "."):
+                    findings.append(make_finding(
+                        "ET501", sf.display, node.lineno, node.col_offset,
+                        f"direct import of {alias.name} outside "
+                        f"{SHM_OWNER_MODULE}"))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == _SHM_MODULE:
+                findings.append(make_finding(
+                    "ET501", sf.display, node.lineno, node.col_offset,
+                    f"direct import from {_SHM_MODULE} outside "
+                    f"{SHM_OWNER_MODULE}"))
+            elif node.module == "multiprocessing":
+                for alias in node.names:
+                    if alias.name == "shared_memory":
+                        findings.append(make_finding(
+                            "ET501", sf.display, node.lineno,
+                            node.col_offset,
+                            f"direct import of {_SHM_MODULE} outside "
+                            f"{SHM_OWNER_MODULE}"))
+    return findings
+
+
+def _mp_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the top-level ``multiprocessing`` module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "multiprocessing":
+                    names.add(alias.asname or "multiprocessing")
+                elif alias.name.startswith("multiprocessing.") \
+                        and alias.asname is None:
+                    # `import multiprocessing.shared_memory` also binds
+                    # the top-level name (handled by _import_findings).
+                    names.add("multiprocessing")
+    return names
+
+
+def _attribute_findings(sf: "SourceFile") -> list[Finding]:
+    """ET501 findings for ``mp.shared_memory`` attribute chains."""
+    findings: list[Finding] = []
+    mp_names = _mp_aliases(sf.tree)
+    if not mp_names:
+        return findings
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Attribute) and node.attr == "shared_memory" \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id in mp_names:
+            findings.append(make_finding(
+                "ET501", sf.display, node.lineno, node.col_offset,
+                f"use of {node.value.id}.shared_memory outside "
+                f"{SHM_OWNER_MODULE}"))
+    return findings
+
+
+def check_process_safety(sf: "SourceFile",
+                         ctx: "AnalysisContext") -> list[Finding]:
+    """Run the shared-memory ownership check over one file."""
+    if _owner_exempt(sf.module):
+        return []
+    return _import_findings(sf) + _attribute_findings(sf)

@@ -1,4 +1,4 @@
-"""Discovery and orchestration for the four `etlint` passes.
+"""Discovery and orchestration for the five `etlint` passes.
 
 The runner parses every Python file under the given paths once, builds the
 shared static context (per-module constant environments, the device-spec
@@ -140,10 +140,11 @@ def build_context(files: list[SourceFile]) -> AnalysisContext:
 
 
 def default_passes() -> dict[str, PassFn]:
-    """The four passes, keyed by their rule-family prefix."""
+    """The five passes, keyed by their rule-family prefix."""
     from repro.analysis.determinism import check_determinism
     from repro.analysis.fp16_safety import check_fp16_safety
     from repro.analysis.kernel_contract import check_kernel_contract
+    from repro.analysis.process_safety import check_process_safety
     from repro.analysis.thread_safety import check_thread_safety
 
     return {
@@ -151,6 +152,7 @@ def default_passes() -> dict[str, PassFn]:
         "ET2": check_fp16_safety,
         "ET3": check_determinism,
         "ET4": check_thread_safety,
+        "ET5": check_process_safety,
     }
 
 

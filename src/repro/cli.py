@@ -16,10 +16,17 @@ Serving (ISSUE 1)::
     python -m repro loadgen --engine et --rate 50 --requests 200 --seed 0
     python -m repro loadgen --mode closed --clients 8
     python -m repro serve --requests 64 --serve-workers 2
+    python -m repro serve --requests 64 --workers 2       # process pool
+    python -m repro loadgen --requests 64 --workers 4     # process pool
 
 ``loadgen`` replays a seeded open-loop (Poisson) or closed-loop workload on
 the deterministic virtual-time scheduler — same seed, same report.
 ``serve`` runs the same pipeline behind the thread-backed async server.
+``--workers N`` (N > 0) swaps either command onto the multi-process
+replica pool: worker processes share one read-only shared-memory weight
+segment and a load-aware router spreads batches across them (outputs stay
+bitwise-identical to the thread backend; ``--tenant-quota`` caps each
+tenant's in-flight requests).
 
 Observability (ISSUE 2)::
 
@@ -252,13 +259,45 @@ def _write_observability(args, tracer, metrics) -> list[str]:
 
 
 def cmd_loadgen(args) -> str:
-    """Deterministic load generation on the virtual-time scheduler."""
+    """Deterministic load generation on the virtual-time scheduler.
+
+    With ``--workers N`` (N > 0) the same seeded workload instead drives
+    the live multi-process pool backend; outputs are bitwise-identical
+    (engine results depend only on the input), while queueing times
+    become wall clock.
+    """
     from repro.serving import run_loadgen
 
+    if args.workers > 0:
+        return _loadgen_pool(args)
     tracer = _make_tracer(args)
     result = run_loadgen(_loadgen_spec(args), tracer=tracer)
     out = [result.report]
     out += _write_observability(args, tracer, result.metrics)
+    return "\n".join(out)
+
+
+def _loadgen_pool(args) -> str:
+    """``loadgen --workers N``: the seeded mix on the replica pool."""
+    from repro.serving.loadgen import LoadgenResult, _render_report
+    from repro.serving.pool import build_pool_server, drive_server
+
+    spec = _loadgen_spec(args)
+    tracer = _make_tracer(args)
+    server, payloads, policy, crossover = build_pool_server(
+        spec, args.workers, tracer=tracer,
+        max_inflight_per_tenant=args.tenant_quota)
+    with server:
+        responses = drive_server(server, spec, payloads)
+        snap = server.pool_snapshot()
+    result = LoadgenResult(spec=spec, policy=policy, crossover=crossover,
+                           responses=responses, metrics=server.metrics)
+    result.report = _render_report(result)
+    out = [result.report,
+           f"[pool backend: {args.workers} replica processes, "
+           f"{int(snap['steals'])} steals, "
+           f"{float(snap['shm_bytes']) / 2**20:.2f} MiB shared weights]"]
+    out += _write_observability(args, tracer, server.metrics)
     return "\n".join(out)
 
 
@@ -269,6 +308,9 @@ def cmd_serve(args) -> str:
     seeded workload through ``submit`` (blocking briefly on backpressure)
     and prints the same metrics block as ``loadgen``. Queue times are wall
     clock here, so this command is a smoke/demo path, not a benchmark.
+    With ``--workers N`` (N > 0) the multi-process pool backend serves
+    the identical workload: replica processes sharing one read-only
+    weight segment behind the same futures API.
     """
     import numpy as np
 
@@ -282,6 +324,8 @@ def cmd_serve(args) -> str:
     )
     from repro.serving.loadgen import build_payloads
 
+    if args.workers > 0:
+        return _serve_pool(args)
     spec = _loadgen_spec(args)
     cfg = spec.model_config()
     engines = [build_engine(spec) for _ in range(spec.workers)]
@@ -322,6 +366,39 @@ def cmd_serve(args) -> str:
              ["max queue depth", m.max_queue_depth]]
     out = [_fmt_table(["metric", "value"], rows,
                       f"serve — {spec.engine} / {spec.model} (live threads)")]
+    out += _write_observability(args, tracer, m)
+    return "\n".join(out)
+
+
+def _serve_pool(args) -> str:
+    """``serve --workers N``: the same workload on the replica pool."""
+    from repro.eval.format import percentile_rows
+    from repro.serving.pool import build_pool_server, drive_server
+
+    spec = _loadgen_spec(args)
+    tracer = _make_tracer(args)
+    server, payloads, policy, crossover = build_pool_server(
+        spec, args.workers, tracer=tracer,
+        max_inflight_per_tenant=args.tenant_quota)
+    with server:
+        responses = drive_server(server, spec, payloads)
+        snap = server.pool_snapshot()
+    m = server.metrics
+    rows = [
+        ["engine", spec.engine],
+        ["replica processes", args.workers],
+        ["bucket policy", f"{policy.name} (crossover={crossover})"],
+        ["completed", sum(r.ok for r in responses)],
+        ["rejected", m.rejected],
+        ["batches stolen", int(snap["steals"])],
+        ["shared weights MiB", round(float(snap["shm_bytes"]) / 2**20, 2)],
+    ]
+    rows += percentile_rows(m.latencies_us) if m.latencies_us else []
+    rows += [["mean batch size", m.mean_batch_size],
+             ["max queue depth", m.max_queue_depth]]
+    out = [_fmt_table(["metric", "value"], rows,
+                      f"serve — {spec.engine} / {spec.model} "
+                      f"({args.workers} replica processes)")]
     out += _write_observability(args, tracer, m)
     return "\n".join(out)
 
@@ -424,7 +501,16 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["single", "fine32", "fine64"],
                    help="crossover-aligned bucket policy")
     s.add_argument("--serve-workers", type=int, default=2,
-                   dest="serve_workers", help="engine workers in the pool")
+                   dest="serve_workers",
+                   help="engine worker threads (AsyncServer) or virtual "
+                        "workers (loadgen scheduler)")
+    s.add_argument("--workers", type=int, default=0, dest="workers",
+                   help="replica processes for the pool backend; 0 (the "
+                        "default) keeps the thread/virtual backends")
+    s.add_argument("--tenant-quota", type=int, default=None,
+                   dest="tenant_quota",
+                   help="pool backend: max in-flight requests per tenant "
+                        "(admission control QoS)")
     s.add_argument("--max-batch", type=int, default=8, dest="max_batch",
                    help="largest batch one dispatch may carry")
     s.add_argument("--max-wait-us", type=float, default=2000.0,

@@ -77,6 +77,20 @@ def prometheus_text(metrics: "MetricsRegistry",
              "Served sequences per second of driver-clock time.",
              [("", snap["throughput_seq_s"])])
 
+    sources = sorted(metrics.plan_cache)
+    for key, kind, help_text in (
+        ("hits", "counter", "Plan-cache hits per source."),
+        ("misses", "counter", "Plan-cache misses per source."),
+        ("evictions", "counter", "Plan-cache evictions per source."),
+        ("size", "gauge", "Live compiled layer plans per source."),
+    ):
+        suffix = "_total" if kind == "counter" else ""
+        w.series(
+            f"plan_cache_{key}{suffix}", kind, help_text,
+            [(f'{{source="{s}"}}', metrics.plan_cache[s].get(key, 0.0))
+             for s in sources] if sources else
+            [("", snap[f"plan_cache_{key}"])])
+
     win = metrics.window
     wsnap = win.snapshot()
     w.series("window_latency_us", "summary",
@@ -107,6 +121,53 @@ def prometheus_text(metrics: "MetricsRegistry",
                        f"{_fmt(win.batch_sum.get(bucket, 0))}")
         w.lines.append(f'{full}_count{{bucket="{bucket}"}} '
                        f"{_fmt(win.batch_count.get(bucket, 0))}")
+    return w.text()
+
+
+def pool_prometheus_text(pool: dict, namespace: str = "repro") -> str:
+    """Render one pool snapshot's replica-level series.
+
+    ``pool`` is :meth:`repro.serving.pool.server.PoolServer.pool_snapshot`
+    output: per-replica load (``backlog``/``outstanding_us``/``inpipe``/
+    ``alive``), steal and dispatch totals, shared-memory footprint, and
+    per-tenant in-flight counts. Returned text appends cleanly after
+    :func:`prometheus_text` — series names never collide.
+    """
+    w = _Writer(namespace)
+    replicas: dict = pool.get("replicas", {})  # type: ignore[assignment]
+    rows = sorted(replicas.items())
+    w.series("pool_replicas_alive", "gauge",
+             "Replica processes currently alive.",
+             [("", float(sum(1 for _, r in rows if r.get("alive"))))])
+    w.series("pool_replica_backlog", "gauge",
+             "Batches booked on a replica, not yet in its pipe (stealable).",
+             [(f'{{replica="{rid}"}}', float(r.get("backlog", 0)))
+              for rid, r in rows])
+    w.series("pool_replica_outstanding_us", "gauge",
+             "Cost-model microseconds of work booked on a replica.",
+             [(f'{{replica="{rid}"}}', float(r.get("outstanding_us", 0.0)))
+              for rid, r in rows])
+    w.series("pool_replica_inpipe", "gauge",
+             "Batches inside a replica's task pipe.",
+             [(f'{{replica="{rid}"}}', float(r.get("inpipe", 0)))
+              for rid, r in rows])
+    w.series("pool_steals_total", "counter",
+             "Batches a replica stole from another's backlog.",
+             [("", float(pool.get("steals", 0.0)))])
+    w.series("pool_batches_dispatched_total", "counter",
+             "Batches handed to replica processes.",
+             [("", float(pool.get("batches_dispatched", 0.0)))])
+    w.series("pool_shm_bytes", "gauge",
+             "Bytes of the shared read-only weight segment.",
+             [("", float(pool.get("shm_bytes", 0.0)))])
+    w.series("pool_worker_deaths_total", "counter",
+             "Replica processes that died and were retired.",
+             [("", float(pool.get("worker_deaths", 0.0)))])
+    tenants: dict = pool.get("tenants_inflight", {})  # type: ignore[assignment]
+    w.series("pool_tenant_inflight", "gauge",
+             "In-flight requests per admitted tenant.",
+             [(f'{{tenant="{c}"}}', float(v))
+              for c, v in sorted(tenants.items())])
     return w.text()
 
 

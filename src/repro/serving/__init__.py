@@ -12,6 +12,11 @@ Two drivers share every stage:
   simulation (the ``loadgen`` CLI and the serving benches).
 - :class:`~repro.serving.server.AsyncServer` — thread-backed futures API
   (the ``serve`` CLI).
+- :class:`~repro.serving.pool.PoolServer` — multi-process replica pool
+  behind the same futures API (``serve``/``loadgen --workers N``):
+  shared-memory read-only weights, a load-aware router with work
+  stealing, and per-tenant admission quotas (see
+  :mod:`repro.serving.pool`).
 
 Both drivers accept a :class:`~repro.obs.trace.Tracer` to collect the
 request → batch → layer → kernel span tree (see :mod:`repro.obs`); the
@@ -27,12 +32,19 @@ from repro.serving.loadgen import (
     run_loadgen,
 )
 from repro.serving.metrics import MetricsRegistry
+from repro.serving.pool import (
+    AdmissionController,
+    PoolServer,
+    QuotaExceededError,
+    Router,
+)
 from repro.serving.queue import QueueClosedError, QueueFullError, RequestQueue
 from repro.serving.request import Request, Response, ResponseStatus
 from repro.serving.scheduler import EngineWorker, Scheduler, SchedulerConfig
 from repro.serving.server import AsyncServer
 
 __all__ = [
+    "AdmissionController",
     "AsyncServer",
     "Batch",
     "BucketPolicy",
@@ -41,12 +53,15 @@ __all__ = [
     "LoadgenResult",
     "LoadgenSpec",
     "MetricsRegistry",
+    "PoolServer",
     "QueueClosedError",
     "QueueFullError",
+    "QuotaExceededError",
     "Request",
     "RequestQueue",
     "Response",
     "ResponseStatus",
+    "Router",
     "Scheduler",
     "SchedulerConfig",
     "build_engine",

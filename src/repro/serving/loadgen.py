@@ -26,6 +26,7 @@ from repro.config import BERT_BASE, DISTILBERT, TRANSFORMER_WT2, ModelConfig, \
 from repro.eval.format import percentile_rows, render_table
 from repro.obs.trace import NullTracer, Tracer
 from repro.pruning import PruneMethod
+from repro.runtime.plan import PLAN_CACHE
 from repro.runtime import (
     EncoderWeights,
     ETEngine,
@@ -209,6 +210,7 @@ def run_loadgen(spec: LoadgenSpec,
     else:
         raise ValueError(f"unknown mode {spec.mode!r}")
 
+    sched.metrics.observe_plan_cache(PLAN_CACHE.stats(), source="scheduler")
     result = LoadgenResult(spec=spec, policy=policy, crossover=crossover,
                            responses=responses, metrics=sched.metrics)
     result.report = _render_report(result)

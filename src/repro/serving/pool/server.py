@@ -1,0 +1,564 @@
+"""Multi-process pool serving front end with the AsyncServer's interface.
+
+:class:`PoolServer` is the process-pool twin of
+:class:`~repro.serving.server.AsyncServer`: same ``start``/``stop``/
+``submit``/``depth``/``metrics_text`` surface, same dynamic batcher and
+bounded queue, but batches execute on replica *processes* that share one
+read-only weight segment (:mod:`repro.runtime.shm`) instead of engine
+threads contending on the GIL.
+
+Division of labour (three parent threads, N replica processes):
+
+- the **dispatcher** thread forms length-bucketed batches and books each
+  one onto the least-loaded replica through the
+  :class:`~repro.serving.pool.router.Router`;
+- :meth:`_feed` (run by dispatcher *and* collector) moves booked batches
+  from router backlogs into replica task pipes, at most
+  ``pipeline_depth`` in flight per replica — batches still in a backlog
+  remain stealable, which is how seqLen-bucket skew resolves;
+- the **collector** thread consumes one shared result queue: it settles
+  router accounting, resolves futures, folds replica plan-cache counters
+  into the metrics registry, merges traced kernel records into the
+  parent tracer under the replica's worker track, and reaps dead
+  replicas (their unfinished batches are re-booked onto survivors, or
+  rejected when none remain).
+
+Clock convention matches the AsyncServer: arrival/dispatch stamps are
+wall clock (this is a designated timing boundary), service time stays in
+cost-model microseconds. Responses are bitwise-identical to the
+AsyncServer's because engine outputs depend only on the input sequence —
+never on batch composition, replica identity, or worker count.
+"""
+
+from __future__ import annotations
+
+import queue as std_queue
+import threading
+import time
+from concurrent.futures import Future
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.gpu.counters import Timeline
+from repro.obs.prometheus import pool_prometheus_text, prometheus_text
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.runtime.engine import Engine, EngineResult
+from repro.runtime.shm import SharedWeightStore
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.bucketing import BucketPolicy
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.pool.router import AdmissionController, Router
+from repro.serving.pool.worker import (
+    STOP,
+    BatchResult,
+    BatchTask,
+    WorkerGoodbye,
+    WorkerHello,
+    replica_main,
+)
+from repro.serving.queue import RequestQueue
+from repro.serving.request import Request, Response, ResponseStatus
+from repro.serving.scheduler import trace_batch
+
+
+class PoolServer:
+    """Futures-based serving loop over a pool of replica processes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: BucketPolicy,
+        n_workers: int = 2,
+        max_batch: int = 8,
+        max_wait_us: float = 2_000.0,
+        max_depth: int = 64,
+        tracer: Tracer = NULL_TRACER,
+        max_inflight_per_tenant: int | None = None,
+        tenant_quotas: dict[int, int] | None = None,
+        payload_table: dict[int, np.ndarray] | None = None,
+        packed: bool | None = None,
+        memoize_by_len: bool = False,
+        pipeline_depth: int = 2,
+        return_outputs: bool = True,
+        start_timeout_s: float = 120.0,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"need at least one replica, got {n_workers}")
+        if pipeline_depth <= 0:
+            raise ValueError(
+                f"pipeline_depth must be positive: {pipeline_depth}")
+        self.engine = engine  # parent-side: weights, name, cost pricing
+        self.policy = policy
+        self.n_workers = n_workers
+        self.tracer = tracer
+        self.payload_table = payload_table
+        self.packed = packed
+        self.memoize_by_len = memoize_by_len
+        self.pipeline_depth = pipeline_depth
+        self.return_outputs = return_outputs
+        self.start_timeout_s = start_timeout_s
+        self.metrics = MetricsRegistry()
+        self.worker_deaths = 0
+        self.shm_bytes = 0
+        self._queue = RequestQueue(max_depth=max_depth)
+        self._batcher = DynamicBatcher(policy, max_batch=max_batch,
+                                       max_wait_us=max_wait_us)
+        self._admission = AdmissionController(
+            max_inflight_per_tenant=max_inflight_per_tenant,
+            quotas=tenant_quotas)
+        self._ctx = get_context("spawn")  # safe beside parent threads
+        self._work = threading.Condition()
+        self._price_lock = threading.Lock()
+        self._prices: dict[int, float] = {}
+        self._router: Router | None = None
+        self._store: SharedWeightStore | None = None
+        self._task_qs: dict[int, object] = {}
+        self._result_q: object | None = None
+        self._procs: dict[int, object] = {}
+        self._futures: dict[int, Future] = {}
+        #: batch_id -> (replica, batch, dispatch stamp) for in-pipe batches
+        self._sent: dict[int, tuple[int, Batch, float]] = {}
+        self._inpipe: dict[int, int] = {}
+        self._goodbyes: dict[int, WorkerGoodbye] = {}
+        self._next_rid = 0
+        self._running = False
+        self._collecting = False
+        self._stopping = False  # replicas exiting on purpose, not crashing
+        self._dispatcher: threading.Thread | None = None
+        self._collector: threading.Thread | None = None
+        # Like the AsyncServer, the pool parent is a designated wall-clock
+        # timing boundary: queueing time is real waiting.
+        self._t0 = time.monotonic()  # etlint: disable=ET301 timing boundary
+
+    # ---- pricing ----------------------------------------------------------
+
+    def _price(self, seq_len: int) -> float:
+        """Cost-model service us for one request of ``seq_len`` (cached)."""
+        cached = self._prices.get(seq_len)
+        if cached is not None:
+            return cached
+        x = None if self.payload_table is None \
+            else self.payload_table.get(seq_len)
+        t = self.engine.latency_us(seq_len=seq_len, x=x)
+        with self._price_lock:
+            self._prices[seq_len] = t
+        return t
+
+    # ---- lifecycle --------------------------------------------------------
+
+    def start(self) -> "PoolServer":
+        """Create the weight segment, spawn the replicas, start serving."""
+        with self._work:
+            if self._running:
+                raise RuntimeError("server already started")
+            self._running = True
+            self._collecting = True
+            self._stopping = False
+            self._t0 = time.monotonic()  # etlint: disable=ET301 timing boundary
+            self._store = SharedWeightStore.create(self.engine.weights)
+            self.shm_bytes = self._store.nbytes
+            self._router = Router(list(range(self.n_workers)), self._price)
+            self._result_q = self._ctx.Queue()
+            self._task_qs = {}
+            self._procs = {}
+            for rid in range(self.n_workers):
+                tq = self._ctx.Queue()
+                self._task_qs[rid] = tq
+                self._procs[rid] = self._ctx.Process(
+                    target=replica_main,
+                    args=(rid, self._store.manifest, self.engine.name, tq,
+                          self._result_q, self.payload_table, self.packed,
+                          self.memoize_by_len),
+                    name=f"pool-replica-{rid}", daemon=True)
+            procs = list(self._procs.values())
+        try:
+            for p in procs:
+                p.start()
+            self._await_hellos()
+        except BaseException:
+            self._teardown_processes()
+            self._destroy_store()
+            with self._work:
+                self._running = False
+                self._collecting = False
+            raise
+        with self._work:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="pool-dispatch", daemon=True)
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="pool-collect", daemon=True)
+            threads = [self._dispatcher, self._collector]
+        for t in threads:
+            t.start()
+        return self
+
+    def _await_hellos(self) -> None:
+        """Block until every replica announced itself (or fail loudly)."""
+        deadline = time.monotonic() + self.start_timeout_s  # etlint: disable=ET301 timing boundary
+        greeted: set[int] = set()
+        while len(greeted) < self.n_workers:
+            remaining = deadline - time.monotonic()  # etlint: disable=ET301 timing boundary
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"only {len(greeted)}/{self.n_workers} replicas came up "
+                    f"within {self.start_timeout_s:g}s")
+            try:
+                msg = self._result_q.get(timeout=remaining)  # type: ignore[union-attr]
+            except std_queue.Empty:
+                continue
+            if isinstance(msg, WorkerHello):
+                greeted.add(msg.worker_id)
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the pool; with ``drain`` every queued request is served.
+
+        Always joins the replicas and unlinks the weight segment — after
+        ``stop`` returns, no shared-memory segment remains linked.
+        """
+        with self._work:
+            if not self._running and not self._collecting:
+                return
+            self._running = False
+            self._work.notify_all()
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.join()  # flushes the queue into router backlogs
+        if not drain:
+            self._reject_unsent()
+        with self._work:  # in-pipe batches always finish (they're running)
+            while self._sent or self._backlog_total() > 0:
+                self._work.wait(0.1)
+        self._teardown_processes()
+        with self._work:
+            self._collecting = False
+            self._work.notify_all()
+            collector = self._collector
+            self._collector = None
+        if collector is not None:
+            collector.join()
+        self._drain_stray_messages()
+        self._queue.close()
+        self._destroy_store()
+
+    def _reject_unsent(self) -> None:
+        """No-drain stop: turn away everything not already on a replica."""
+        victims: list[Request] = []
+        if self._router is not None:
+            for batch in self._router.drain():
+                victims.extend(batch.requests)
+        victims.extend(self._queue.drain())
+        now = self._now_us()
+        for req in victims:
+            self._finish_response(req, Response.rejected(req, now))
+
+    def _backlog_total(self) -> int:
+        if self._router is None:
+            return 0
+        return sum(self._router.backlog_depth(rid)
+                   for rid in self._router.replica_ids)
+
+    def _teardown_processes(self) -> None:
+        """Order every live replica out, then join (terminate stragglers)."""
+        with self._work:
+            self._stopping = True  # exits below are ordered, not deaths
+            tqs = dict(self._task_qs)
+            procs = dict(self._procs)
+        for rid, tq in tqs.items():
+            if procs[rid].is_alive():
+                try:
+                    tq.put(STOP)  # type: ignore[attr-defined]
+                except (ValueError, OSError):
+                    pass
+        for p in procs.values():
+            p.join(timeout=10)
+            if p.is_alive():  # wedged replica: the pool must still come down
+                p.terminate()
+                p.join(timeout=5)
+
+    def _drain_stray_messages(self) -> None:
+        """Collect goodbyes (and drop stragglers) after the collector exits."""
+        if self._result_q is None:
+            return
+        while True:
+            try:
+                msg = self._result_q.get_nowait()  # type: ignore[attr-defined]
+            except (std_queue.Empty, OSError, ValueError):
+                return
+            if isinstance(msg, WorkerGoodbye):
+                self._record_goodbye(msg)
+
+    def _destroy_store(self) -> None:
+        with self._work:
+            store = self._store
+            self._store = None
+        if store is not None:
+            store.close()
+            store.unlink()
+
+    def __enter__(self) -> "PoolServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ---- client API -------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6  # etlint: disable=ET301 timing boundary
+
+    def submit(self, x: np.ndarray, priority: int = 0,
+               mask: np.ndarray | None = None,
+               client: int = 0) -> "Future[Response]":
+        """Enqueue one sequence; raises :class:`QueueFullError` when the
+        shared queue is at depth and :class:`QuotaExceededError` when the
+        tenant is over its in-flight quota."""
+        x = np.asarray(x, dtype=np.float64)
+        self.policy.bucket_of(int(x.shape[0]))  # reject oversize up front
+        fut: Future[Response] = Future()
+        self._admission.admit(client)
+        try:
+            with self._work:
+                if not self._running:
+                    raise RuntimeError("server is not running")
+                rid = self._next_rid
+                self._next_rid += 1
+                req = Request(rid=rid, x=x, arrival_us=self._now_us(),
+                              priority=priority, client=client, mask=mask)
+                self.metrics.observe_queue_depth(self._queue.depth)
+                if self.tracer.enabled:
+                    self.tracer.counter("queue_depth", req.arrival_us,
+                                        self._queue.depth)
+                self._queue.put(req)  # QueueFullError propagates
+                self._futures[rid] = fut
+                self._work.notify_all()
+        except BaseException:
+            self._admission.release(client)
+            raise
+        return fut
+
+    @property
+    def depth(self) -> int:
+        """Current shared queue depth (batches booked on replicas excluded)."""
+        return self._queue.depth
+
+    def pool_snapshot(self) -> dict[str, object]:
+        """Pool-level state for metrics: per-replica load, steals, shm."""
+        router_snap = self._router.snapshot() if self._router else {}
+        with self._work:
+            replicas = {
+                rid: {
+                    "backlog": snap["backlog"],
+                    "outstanding_us": snap["outstanding_us"],
+                    "inpipe": float(self._inpipe.get(rid, 0)),
+                    "alive": bool(self._procs[rid].is_alive())
+                    if rid in self._procs else False,
+                }
+                for rid, snap in router_snap.items()
+            }
+            shm_bytes = self.shm_bytes
+        return {
+            "replicas": replicas,
+            "steals": float(self._router.steals) if self._router else 0.0,
+            "batches_dispatched": float(self._router.dispatched)
+            if self._router else 0.0,
+            "shm_bytes": float(shm_bytes),
+            "worker_deaths": float(self.worker_deaths),
+            "tenants_inflight": self._admission.snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """Serving metrics + pool series as one Prometheus exposition page."""
+        snapshot = self.pool_snapshot()
+        with self._work:
+            base = prometheus_text(self.metrics)
+        return base + pool_prometheus_text(snapshot)
+
+    # ---- dispatcher -------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._work:
+                batch = None
+                while batch is None:
+                    now = self._now_us()
+                    batch = self._batcher.pop_batch(
+                        self._queue, now, flush=not self._running)
+                    if batch is not None:
+                        break
+                    if not self._running:
+                        return  # queue flushed into router backlogs
+                    deadline = self._batcher.next_deadline_us(self._queue)
+                    timeout = None if deadline is None else max(
+                        1e-4, (deadline - now) / 1e6)
+                    self._work.wait(timeout)
+            # Booking may price unseen lengths through the parent engine —
+            # never hold the condition across it.
+            self._router.assign(batch)  # type: ignore[union-attr]
+            self._feed()
+
+    def _feed(self) -> None:
+        """Move booked batches into replica pipes, bounded per replica."""
+        router = self._router
+        if router is None:
+            return
+        sends: list[tuple[int, BatchTask]] = []
+        with self._work:
+            for rid in router.replica_ids:
+                while self._inpipe.get(rid, 0) < self.pipeline_depth:
+                    batch = router.acquire(rid)
+                    if batch is None:
+                        break
+                    start = self._now_us()
+                    self._sent[batch.batch_id] = (rid, batch, start)
+                    self._inpipe[rid] = self._inpipe.get(rid, 0) + 1
+                    self.metrics.observe_batch(batch.size, batch.bucket,
+                                               start)
+                    sends.append((rid, self._make_task(batch)))
+        for rid, task in sends:
+            try:
+                self._task_qs[rid].put(task)  # type: ignore[attr-defined]
+            except (ValueError, OSError):
+                pass  # pipe died with its replica; the reaper re-books it
+
+    def _make_task(self, batch: Batch) -> BatchTask:
+        """Ship payload-table lengths instead of arrays when possible."""
+        payloads: list[object] = []
+        for r in batch.requests:
+            if (self.payload_table is not None and r.mask is None
+                    and r.x is self.payload_table.get(r.seq_len)):
+                payloads.append(r.seq_len)
+            else:
+                payloads.append(r.x)
+        return BatchTask(
+            batch_id=batch.batch_id, payloads=payloads,
+            masks=[r.mask for r in batch.requests],
+            want_trace=self.tracer.enabled,
+            return_outputs=self.return_outputs)
+
+    # ---- collector --------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._work:
+                if not self._collecting and not self._sent:
+                    return
+            try:
+                msg = self._result_q.get(timeout=0.1)  # type: ignore[union-attr]
+            except std_queue.Empty:
+                self._reap_dead()
+                continue
+            except (OSError, ValueError):
+                return  # result queue torn down under us: shutting down
+            if isinstance(msg, BatchResult):
+                self._on_result(msg)
+            elif isinstance(msg, WorkerGoodbye):
+                self._record_goodbye(msg)
+
+    def _record_goodbye(self, msg: WorkerGoodbye) -> None:
+        with self._work:
+            self._goodbyes[msg.worker_id] = msg
+            if msg.plan_stats:
+                self.metrics.observe_plan_cache(
+                    msg.plan_stats, source=f"replica{msg.worker_id}")
+            self._work.notify_all()
+
+    def _on_result(self, result: BatchResult) -> None:
+        with self._work:
+            entry = self._sent.pop(result.batch_id, None)
+            if entry is not None:
+                rid, batch, start = entry
+                self._inpipe[rid] = max(0, self._inpipe.get(rid, 1) - 1)
+                if result.plan_stats:
+                    self.metrics.observe_plan_cache(
+                        result.plan_stats, source=f"replica{rid}")
+        if entry is None:
+            return  # batch was re-booked after a presumed death; drop dup
+        self._router.complete(result.batch_id)  # type: ignore[union-attr]
+        if result.error is not None:
+            now = self._now_us()
+            for req in batch.requests:
+                self._finish_response(req, Response.rejected(req, now))
+        else:
+            self._resolve_batch(rid, batch, start, result)
+        with self._work:
+            self._work.notify_all()
+        self._feed()
+
+    def _resolve_batch(self, rid: int, batch: Batch, start: float,
+                       result: BatchResult) -> None:
+        finish = start + result.service_us
+        if self.tracer.enabled and result.records is not None:
+            engine_results = []
+            for i, (records, choices) in enumerate(
+                    zip(result.records, result.choices)):
+                tl = Timeline(self.engine.device)
+                tl.records.extend(records)
+                out = result.outputs[i] if result.outputs is not None \
+                    else np.empty(0)
+                engine_results.append(
+                    EngineResult(output=out, timeline=tl, choices=choices))
+            with self._work:  # tracer storage is not thread-safe
+                trace_batch(self.tracer, batch, self.engine.name, rid,
+                            start, finish, engine_results)
+        for i, req in enumerate(batch.requests):
+            output = result.outputs[i] if result.outputs is not None else None
+            resp = Response(
+                rid=req.rid, status=ResponseStatus.OK,
+                arrival_us=req.arrival_us, start_us=start, finish_us=finish,
+                service_us=result.service_us, batch_id=batch.batch_id,
+                batch_size=batch.size, bucket=batch.bucket,
+                seq_len=req.seq_len, client=req.client, output=output)
+            self._finish_response(req, resp)
+
+    def _finish_response(self, req: Request, resp: Response) -> None:
+        with self._work:
+            fut = self._futures.pop(req.rid, None)
+            self.metrics.observe_response(resp)
+        self._admission.release(req.client)
+        if fut is not None:
+            fut.set_result(resp)
+
+    # ---- replica death ----------------------------------------------------
+
+    def _reap_dead(self) -> None:
+        """Retire dead replicas; re-book their unfinished batches."""
+        router = self._router
+        if router is None:
+            return
+        live = set(router.replica_ids)
+        with self._work:
+            if self._stopping:
+                return  # ordered shutdown: exits are expected
+            dead = [rid for rid, p in self._procs.items()
+                    if rid in live and not p.is_alive()]
+        if not dead:
+            return
+        todo: list[Batch] = []
+        victims: list[Request] = []
+        for rid in dead:
+            todo.extend(router.retire(rid))
+            with self._work:
+                self.worker_deaths += 1
+                retained = [(bid, b) for bid, (r, b, _s)
+                            in self._sent.items() if r == rid]
+                for bid, _b in retained:
+                    del self._sent[bid]
+                self._inpipe.pop(rid, None)
+            for bid, b in retained:
+                router.forget(bid)
+                todo.append(b)
+        survivors = router.replica_ids
+        if survivors:
+            for b in todo:
+                router.assign(b)
+        else:
+            for b in todo:
+                victims.extend(b.requests)
+            now = self._now_us()
+            for req in victims:
+                self._finish_response(req, Response.rejected(req, now))
+        with self._work:
+            self._work.notify_all()
+        self._feed()

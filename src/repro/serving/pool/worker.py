@@ -1,0 +1,183 @@
+"""Replica worker process: attach shared weights, serve batches over queues.
+
+One :func:`replica_main` runs per pool replica (spawned process). It maps
+the parent's :class:`~repro.runtime.shm.WeightManifest` into zero-copy
+read-only weight views, builds its *own* engine on top of them — which
+gives it a private, per-replica plan cache (``repro.runtime.plan`` keeps
+one process-wide :data:`~repro.runtime.plan.PLAN_CACHE`, so process
+isolation makes it per-replica for free) — and then loops: take a
+:class:`BatchTask` off its task queue, execute it through the exact same
+:class:`~repro.serving.scheduler.EngineWorker` path the thread-backed
+server uses, and ship a :class:`BatchResult` back on the shared result
+queue.
+
+Determinism: a batch's outputs and cost-model latencies are a pure
+function of its inputs (the packed path is bitwise-equal to serial and
+independent of batch composition), so results do not depend on which
+replica ran the batch, how batches interleaved, or how many workers the
+pool has — the property the pool determinism tests pin down.
+
+IPC discipline: payload entries may be plain arrays *or* integer
+sequence-length references into a ``payload_table`` shipped once at
+process start (the load generator builds exactly one payload per length),
+so steady-state tasks cost a few hundred bytes instead of re-pickling
+``(s, d_model)`` float64 payloads per request; ``return_outputs=False``
+additionally elides the response tensors for throughput benchmarking.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gpu.counters import KernelRecord
+from repro.runtime.plan import PLAN_CACHE
+from repro.runtime.shm import SharedWeightStore, WeightManifest
+from repro.serving.batcher import Batch
+from repro.serving.request import Request
+from repro.serving.scheduler import EngineWorker
+
+if TYPE_CHECKING:
+    from multiprocessing.queues import Queue as MpQueue
+
+#: Task-queue sentinel ordering a replica to exit its serve loop.
+STOP = None
+
+
+@dataclass(frozen=True)
+class WorkerHello:
+    """First message each replica sends: it is attached and serving."""
+
+    worker_id: int
+    pid: int
+    shm_bytes: int
+    engine: str
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One batch of work shipped to a replica.
+
+    ``payloads`` holds, per request, either the ``(s, d_model)`` array
+    itself or an ``int`` sequence length referencing the replica's payload
+    table (see module docstring). Requests are identified positionally —
+    the parent retains the real :class:`~repro.serving.batcher.Batch` and
+    re-associates results by index, so rids never cross the pipe.
+    """
+
+    batch_id: int
+    payloads: list
+    masks: list
+    want_trace: bool = False
+    return_outputs: bool = True
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """A completed (or failed) batch, positionally matching its task."""
+
+    worker_id: int
+    batch_id: int
+    service_us: float
+    latencies_us: list[float]
+    outputs: list[np.ndarray] | None
+    choices: list[dict[str, str]]
+    #: Per-request kernel records (only when the task asked for a trace).
+    records: list[list[KernelRecord]] | None
+    #: The replica's process-wide plan-cache counters after this batch.
+    plan_stats: dict[str, int] = field(default_factory=dict)
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class WorkerGoodbye:
+    """Last message of a clean shutdown: counters for the pool report."""
+
+    worker_id: int
+    batches_run: int
+    busy_us: float
+    plan_stats: dict[str, int] = field(default_factory=dict)
+
+
+def _resolve_payload(entry: object,
+                     payload_table: dict[int, np.ndarray] | None
+                     ) -> np.ndarray:
+    """An array entry passes through; an int is a payload-table reference."""
+    if isinstance(entry, (int, np.integer)):
+        if payload_table is None:
+            raise ValueError(
+                f"task references payload length {entry} but this replica "
+                f"has no payload table")
+        return payload_table[int(entry)]
+    return np.asarray(entry)
+
+
+def run_task(task: BatchTask, worker: EngineWorker, worker_id: int,
+             payload_table: dict[int, np.ndarray] | None) -> BatchResult:
+    """Execute one task; always returns a result (errors are reported)."""
+    try:
+        reqs = [
+            Request(rid=i, x=_resolve_payload(p, payload_table), mask=m)
+            for i, (p, m) in enumerate(zip(task.payloads, task.masks))
+        ]
+        batch = Batch(batch_id=task.batch_id, bucket=-1, requests=reqs)
+        results, service_us = worker.process(batch)
+    except Exception as exc:  # report, don't kill the replica
+        return BatchResult(
+            worker_id=worker_id, batch_id=task.batch_id, service_us=0.0,
+            latencies_us=[], outputs=None, choices=[], records=None,
+            plan_stats=PLAN_CACHE.stats(),
+            error=f"{type(exc).__name__}: {exc}")
+    return BatchResult(
+        worker_id=worker_id, batch_id=task.batch_id, service_us=service_us,
+        latencies_us=[res.timeline.total_time_us for res in results],
+        outputs=[res.output for res in results] if task.return_outputs
+        else None,
+        choices=[dict(res.choices) for res in results],
+        records=[list(res.timeline.records) for res in results]
+        if task.want_trace else None,
+        plan_stats=PLAN_CACHE.stats(),
+    )
+
+
+def replica_main(worker_id: int, manifest: WeightManifest, engine_name: str,
+                 task_q: "MpQueue", result_q: "MpQueue",
+                 payload_table: dict[int, np.ndarray] | None = None,
+                 packed: bool | None = None,
+                 memoize_by_len: bool = False) -> None:
+    """Entry point of one replica process (spawn target).
+
+    Attaches the shared weight segment, builds the engine over read-only
+    views, announces itself with a :class:`WorkerHello`, then serves
+    :class:`BatchTask` messages until the :data:`STOP` sentinel (or a
+    closed pipe, if the parent died) ends the loop. The store is attached,
+    never owned: the replica closes its mapping on exit but only the pool
+    parent unlinks the segment.
+    """
+    # Deferred: ENGINE_CLASSES lives in loadgen, which must not be imported
+    # before spawn re-executes the module graph in the child.
+    from repro.serving.loadgen import ENGINE_CLASSES
+
+    store = SharedWeightStore.attach(manifest)
+    try:
+        engine = ENGINE_CLASSES[engine_name](store.weights())
+        worker = EngineWorker(engine, memoize_by_len=memoize_by_len,
+                              packed=packed)
+        result_q.put(WorkerHello(worker_id=worker_id, pid=os.getpid(),
+                                 shm_bytes=store.nbytes, engine=engine.name))
+        while True:
+            try:
+                task = task_q.get()
+            except (EOFError, OSError):  # parent died; nothing to serve
+                return
+            if task is STOP:
+                break
+            result_q.put(run_task(task, worker, worker_id, payload_table))
+        result_q.put(WorkerGoodbye(
+            worker_id=worker_id, batches_run=worker.batches_run,
+            busy_us=worker.busy_us, plan_stats=PLAN_CACHE.stats()))
+    finally:
+        store.close()

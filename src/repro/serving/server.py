@@ -21,6 +21,7 @@ import numpy as np
 from repro.obs.prometheus import prometheus_text
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.engine import Engine
+from repro.runtime.plan import PLAN_CACHE
 from repro.serving.batcher import DynamicBatcher
 from repro.serving.bucketing import BucketPolicy
 from repro.serving.metrics import MetricsRegistry
@@ -142,6 +143,9 @@ class AsyncServer:
     def metrics_text(self) -> str:
         """The live metrics as one Prometheus exposition page (scrapable)."""
         with self._work:
+            # Engine threads share this process's plan cache: one source.
+            self.metrics.observe_plan_cache(PLAN_CACHE.stats(),
+                                            source="server")
             return prometheus_text(self.metrics)
 
     # ---- worker loop ------------------------------------------------------

@@ -338,6 +338,68 @@ def test_lockless_classes_are_skipped(tmp_path):
     assert rules == []
 
 
+# ---- pass 5: process safety ------------------------------------------------
+
+
+def test_et501_from_import(tmp_path):
+    rules, report = lint_snippet(tmp_path, """
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=64)
+    """)
+    assert rules == ["ET501"]
+    assert "multiprocessing.shared_memory" in report.findings[0].message
+
+
+def test_et501_direct_and_aliased_use(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import multiprocessing.shared_memory
+        import multiprocessing as mp
+
+        def grab():
+            return mp.shared_memory.SharedMemory(create=True, size=64)
+    """)
+    # one finding for the import, one for the attribute chain
+    assert rules == ["ET501", "ET501"]
+
+
+def test_et501_symbol_import(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from multiprocessing.shared_memory import SharedMemory
+
+        seg = SharedMemory(create=True, size=64)
+    """)
+    assert rules == ["ET501"]
+
+
+def test_et501_exempts_weight_store_module(tmp_path):
+    # The owning module may touch shared memory; everyone else goes
+    # through it.
+    shm_dir = tmp_path / "src" / "repro" / "runtime"
+    shm_dir.mkdir(parents=True)
+    target = shm_dir / "shm.py"
+    target.write_text(textwrap.dedent("""
+        from multiprocessing import shared_memory
+
+        def create(size):
+            return shared_memory.SharedMemory(create=True, size=size)
+    """), encoding="utf-8")
+    assert module_name_for(target) == "repro.runtime.shm"
+    report = run_analysis([target], root=tmp_path)
+    assert [f.rule_id for f in report.findings] == []
+
+
+def test_et501_plain_multiprocessing_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        import multiprocessing
+
+        def spawn():
+            ctx = multiprocessing.get_context("spawn")
+            return ctx.Queue()
+    """)
+    assert rules == []
+
+
 # ---- suppression and baseline ----------------------------------------------
 
 
