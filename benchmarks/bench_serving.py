@@ -19,11 +19,17 @@ thread-backed :class:`AsyncServer` and the multi-process
 :class:`PoolServer` (2 replicas, shared-memory weights). Each backend is
 measured as its CLI driver configures it — the pool's per-replica plan
 caches, per-length memoization and packed execution are features of the
-backend, not bench knobs. The process exits nonzero if packed execution
-is ever slower than serial at batch ≥ 8, if the pool's outputs are not
-bitwise identical to the thread backend's, or if pool throughput at
-batch ≥ 8 falls below the thread backend — what CI's perf-smoke job
-checks.
+backend, not bench knobs. The loadgen section runs with per-bucket SLO
+deadlines (``slo_us=0``) so attainment/goodput land in the report, and a
+``telemetry`` section measures instrumentation overhead (flight recorder
+alone, and with the per-kernel span tracer). The process exits nonzero if
+packed execution is ever slower than serial at batch ≥ 8, if the pool's
+outputs are not bitwise identical to the thread backend's, if pool
+throughput at batch ≥ 8 falls below the thread backend, or if
+instrumentation changes the rendered report or the flight recorder costs
+more than the overhead sanity bound — what
+CI's perf-smoke job checks (which also gates the report against
+``BENCH_history.jsonl`` via ``tools/bench_history.py``).
 """
 
 import argparse
@@ -140,13 +146,19 @@ def measure_packed_speedup(engine: ETEngine, seq_len: int, batch: int,
     }
 
 
-def _loadgen_summary() -> dict:
-    """One representative packed loadgen run's serving metrics."""
-    spec = LoadgenSpec(
+def _summary_spec() -> LoadgenSpec:
+    """The representative packed loadgen run (SLO: per-bucket defaults)."""
+    return LoadgenSpec(
         engine="et", model="small", rate_per_s=1000.0, num_requests=120,
         seed=0, max_seq_len=64, seq_step=16, policy="fine64", workers=2,
         max_batch=8, max_wait_us=2_000.0, max_depth=64, packed=True,
+        slo_us=0.0,
     )
+
+
+def _loadgen_summary() -> dict:
+    """One representative packed loadgen run's serving metrics."""
+    spec = _summary_spec()
     m = run_loadgen(spec).metrics.snapshot()
     return {
         "engine": spec.engine,
@@ -162,6 +174,62 @@ def _loadgen_summary() -> dict:
         "mean_batch_size": m["mean_batch_size"],
         "completed": int(m["completed"]),
         "rejected": int(m["rejected"]),
+        "slo_total": int(m["slo_total"]),
+        "slo_met": int(m["slo_met"]),
+        "slo_attainment": m["slo_attainment"],
+        "goodput_seq_s": m["goodput_seq_s"],
+    }
+
+
+def measure_telemetry_overhead(repeats: int = 15) -> dict:
+    """Wall-clock cost of instrumentation on the summary workload.
+
+    Three arms, best-of-``repeats`` each: plain (null recorders), the
+    flight recorder alone (``events``), and full deep profiling (events
+    plus the per-kernel span tracer). All rendered reports must be
+    byte-identical — observation never changes a reported number. The
+    always-on instrumentation *hooks* (``events.enabled`` guards, SLO
+    stamping) cost ≤ 2% by construction: the plain arm runs them and its
+    deterministic metrics match the pre-instrumentation baseline exactly
+    (the history gate checks this). The opt-in flight recorder adds a few
+    percent *on this deliberately tiny model* (~2 us/event against ~150
+    us/request of total work; negligible at production model sizes),
+    gated loosely to tolerate shared-runner noise. The span tracer is an
+    explicit profiling mode (one span per kernel, ~the cost of the
+    modeled kernels themselves here) and is recorded but not gated.
+    """
+    from repro.obs import EventLog, Tracer
+
+    spec = _summary_spec()
+    run_loadgen(spec)  # warm plan caches for every arm
+
+    # Interleave the arms round-robin so slow CPU-state drift (frequency
+    # scaling, co-tenant noise) biases no arm; keep each arm's best.
+    arms = {
+        "plain": lambda: run_loadgen(spec),
+        "events": lambda: run_loadgen(spec, events=EventLog()),
+        "full": lambda: run_loadgen(spec, tracer=Tracer(),
+                                    events=EventLog()),
+    }
+    best = {name: float("inf") for name in arms}
+    reports = {}
+    for _ in range(repeats):
+        for name, run in arms.items():
+            t0 = time.perf_counter()
+            result = run()
+            best[name] = min(best[name], time.perf_counter() - t0)
+            reports[name] = result.report
+    plain_s, events_s, full_s = best["plain"], best["events"], best["full"]
+    plain_report, events_report, full_report = (
+        reports["plain"], reports["events"], reports["full"])
+    return {
+        "repeats": repeats,
+        "plain_s": round(plain_s, 4),
+        "events_s": round(events_s, 4),
+        "full_s": round(full_s, 4),
+        "events_overhead_frac": round(max(0.0, events_s / plain_s - 1.0), 4),
+        "full_overhead_frac": round(max(0.0, full_s / plain_s - 1.0), 4),
+        "report_identical": plain_report == events_report == full_report,
     }
 
 
@@ -255,11 +323,13 @@ def main(argv: list[str] | None = None) -> int:
     grid = [measure_packed_speedup(engine, s, b, repeats=args.repeats)
             for s in SPEEDUP_SEQ_LENS for b in SPEEDUP_BATCHES]
     best = max(grid, key=lambda r: r["speedup"])
+    telemetry = measure_telemetry_overhead()
     report = {
         "loadgen": _loadgen_summary(),
         "packed_speedup": grid,
         "best_speedup": best["speedup"],
         "best_config": {"seq_len": best["seq_len"], "batch": best["batch"]},
+        "telemetry": telemetry,
     }
     pool = None
     if args.pool_workers > 0:
@@ -281,10 +351,26 @@ def main(argv: list[str] | None = None) -> int:
               pool["pool_seq_s"]]],
             title=f'pool vs thread — {pool["num_requests"]} requests, '
                   f'batch {pool["max_batch"]}, {pool["cpus"]} cpus'))
+    print(f"telemetry overhead: flight recorder "
+          f"{telemetry['events_overhead_frac']:.1%}, full profiling "
+          f"{telemetry['full_overhead_frac']:.1%} (plain "
+          f"{telemetry['plain_s']}s, reports identical: "
+          f"{telemetry['report_identical']})")
     failed = False
     slow = [r for r in grid if r["speedup"] < 1.0]
     if slow:
         print(f"FAIL: packed slower than serial at {slow}", file=sys.stderr)
+        failed = True
+    if not telemetry["report_identical"]:
+        print("FAIL: instrumentation changed the rendered loadgen report",
+              file=sys.stderr)
+        failed = True
+    if telemetry["events_overhead_frac"] > 0.15:
+        print("FAIL: flight-recorder overhead "
+              f"{telemetry['events_overhead_frac']:.1%} above the 15% CI "
+              "sanity bound (design target 2%; the bound is wide because "
+              "the bench model is tiny and shared runners are noisy)",
+              file=sys.stderr)
         failed = True
     if pool is not None:
         if not pool["outputs_bitwise_equal"]:

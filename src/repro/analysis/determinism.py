@@ -39,6 +39,13 @@ _WALL_CLOCK = frozenset({
     "time.process_time_ns", "datetime.datetime.now",
     "datetime.datetime.utcnow", "datetime.datetime.today",
     "datetime.date.today",
+    # Formatting/conversion reads that default to "now" / local clock
+    # state — these leak wall time into artifacts just as surely as a
+    # direct time.time() (the flight recorder's byte-identity depends on
+    # no obs module reaching any of them).
+    "time.localtime", "time.gmtime", "time.strftime", "time.ctime",
+    "time.asctime", "datetime.datetime.fromtimestamp",
+    "datetime.date.fromtimestamp",
 })
 
 _NP_LEGACY_RNG = frozenset({

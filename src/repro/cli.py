@@ -39,6 +39,21 @@ chrome://tracing or Perfetto) with the request → batch → layer → kernel
 span chain; ``--metrics-out`` writes a Prometheus text exposition.
 ``trace`` runs one request and pretty-prints the span tree with per-span
 profiling-counter rollups.
+
+SLO & profiling (ISSUE 7)::
+
+    python -m repro loadgen --slo-us 0 --events-out events.jsonl
+    python -m repro loadgen --slo-us 15000 --metrics-out metrics.prom
+    python -m repro profile --engine et --seq-len 128 --profile-out p.json
+
+``--slo-us`` stamps deadlines on every request (0 = per-bucket budgets
+priced by the cost model, > 0 = one fixed budget in us) and the report /
+Prometheus page gain attainment and goodput. ``--events-out`` writes the
+flight recorder's structured lifecycle event log (JSONL, canonical order
+— byte-identical across same-seed reruns; validate with
+``tools/check_trace.py``). ``profile`` runs one request and emits the
+roofline attribution report (per-region / per-kernel-class time share,
+achieved GB/s vs device peak, SM efficiency).
 """
 
 from __future__ import annotations
@@ -232,6 +247,7 @@ def _loadgen_spec(args):
         seq_step=args.seq_step, policy=args.policy,
         workers=args.serve_workers, max_batch=args.max_batch,
         max_wait_us=args.max_wait_us, max_depth=args.max_depth,
+        slo_us=args.slo_us, slo_scale=args.slo_scale,
     )
 
 
@@ -242,9 +258,27 @@ def _make_tracer(args):
     return Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
 
 
-def _write_observability(args, tracer, metrics) -> list[str]:
-    """Write ``--trace-out`` / ``--metrics-out`` files; returns notes."""
-    from repro.obs import write_chrome_trace, write_prometheus
+def _make_events(args):
+    """A live event log when ``--events-out`` was given, else the null log."""
+    from repro.obs import NULL_EVENT_LOG, EventLog
+
+    return EventLog() if getattr(args, "events_out", None) else NULL_EVENT_LOG
+
+
+def _write_observability(args, tracer, metrics, events=None,
+                         pool=None) -> list[str]:
+    """Write ``--trace-out`` / ``--metrics-out`` / ``--events-out`` files.
+
+    With a ``pool`` snapshot the metrics page also carries the
+    replica-level pool series (one endpoint for every replica). Returns
+    human-readable notes for the report footer.
+    """
+    from repro.obs import (
+        pool_prometheus_text,
+        prometheus_text,
+        write_chrome_trace,
+        write_events,
+    )
 
     notes = []
     if getattr(args, "trace_out", None):
@@ -252,9 +286,18 @@ def _write_observability(args, tracer, metrics) -> list[str]:
         notes.append(f"[trace written to {args.trace_out} — "
                      "open in chrome://tracing or ui.perfetto.dev]")
     if getattr(args, "metrics_out", None):
-        write_prometheus(args.metrics_out, metrics)
+        text = prometheus_text(metrics)
+        if pool is not None:
+            text += pool_prometheus_text(pool)
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            f.write(text)
         notes.append(f"[metrics written to {args.metrics_out} — "
                      "Prometheus text exposition]")
+    if getattr(args, "events_out", None) and events is not None:
+        write_events(args.events_out, events)
+        notes.append(f"[events written to {args.events_out} — "
+                     f"{len(events)} lifecycle events, validate "
+                     "with tools/check_trace.py]")
     return notes
 
 
@@ -271,9 +314,10 @@ def cmd_loadgen(args) -> str:
     if args.workers > 0:
         return _loadgen_pool(args)
     tracer = _make_tracer(args)
-    result = run_loadgen(_loadgen_spec(args), tracer=tracer)
+    events = _make_events(args)
+    result = run_loadgen(_loadgen_spec(args), tracer=tracer, events=events)
     out = [result.report]
-    out += _write_observability(args, tracer, result.metrics)
+    out += _write_observability(args, tracer, result.metrics, events=events)
     return "\n".join(out)
 
 
@@ -284,20 +328,23 @@ def _loadgen_pool(args) -> str:
 
     spec = _loadgen_spec(args)
     tracer = _make_tracer(args)
+    events = _make_events(args)
     server, payloads, policy, crossover = build_pool_server(
         spec, args.workers, tracer=tracer,
-        max_inflight_per_tenant=args.tenant_quota)
+        max_inflight_per_tenant=args.tenant_quota, events=events)
     with server:
         responses = drive_server(server, spec, payloads)
         snap = server.pool_snapshot()
     result = LoadgenResult(spec=spec, policy=policy, crossover=crossover,
-                           responses=responses, metrics=server.metrics)
+                           responses=responses, metrics=server.metrics,
+                           slo=server.slo)
     result.report = _render_report(result)
     out = [result.report,
            f"[pool backend: {args.workers} replica processes, "
            f"{int(snap['steals'])} steals, "
            f"{float(snap['shm_bytes']) / 2**20:.2f} MiB shared weights]"]
-    out += _write_observability(args, tracer, server.metrics)
+    out += _write_observability(args, tracer, server.metrics, events=events,
+                                pool=snap)
     return "\n".join(out)
 
 
@@ -320,6 +367,7 @@ def cmd_serve(args) -> str:
         QueueFullError,
         build_engine,
         make_policy,
+        make_slo_policy,
         model_crossover,
     )
     from repro.serving.loadgen import build_payloads
@@ -338,9 +386,12 @@ def cmd_serve(args) -> str:
     chosen = rng.choice(len(lens), size=spec.num_requests)
 
     tracer = _make_tracer(args)
+    events = _make_events(args)
     server = AsyncServer(engines, policy, max_batch=spec.max_batch,
                          max_wait_us=spec.max_wait_us,
-                         max_depth=spec.max_depth, tracer=tracer)
+                         max_depth=spec.max_depth, tracer=tracer,
+                         events=events,
+                         slo=make_slo_policy(spec, engines[0], policy))
     futures = []
     with server:
         for i in range(spec.num_requests):
@@ -364,9 +415,12 @@ def cmd_serve(args) -> str:
     rows += percentile_rows(m.latencies_us) if m.latencies_us else []
     rows += [["mean batch size", m.mean_batch_size],
              ["max queue depth", m.max_queue_depth]]
+    if args.slo_us is not None:
+        rows.append(["slo attainment", f"{m.slo.attainment:.4f} "
+                                       f"({m.slo.met}/{m.slo.total})"])
     out = [_fmt_table(["metric", "value"], rows,
                       f"serve — {spec.engine} / {spec.model} (live threads)")]
-    out += _write_observability(args, tracer, m)
+    out += _write_observability(args, tracer, m, events=events)
     return "\n".join(out)
 
 
@@ -377,9 +431,10 @@ def _serve_pool(args) -> str:
 
     spec = _loadgen_spec(args)
     tracer = _make_tracer(args)
+    events = _make_events(args)
     server, payloads, policy, crossover = build_pool_server(
         spec, args.workers, tracer=tracer,
-        max_inflight_per_tenant=args.tenant_quota)
+        max_inflight_per_tenant=args.tenant_quota, events=events)
     with server:
         responses = drive_server(server, spec, payloads)
         snap = server.pool_snapshot()
@@ -396,10 +451,13 @@ def _serve_pool(args) -> str:
     rows += percentile_rows(m.latencies_us) if m.latencies_us else []
     rows += [["mean batch size", m.mean_batch_size],
              ["max queue depth", m.max_queue_depth]]
+    if args.slo_us is not None:
+        rows.append(["slo attainment", f"{m.slo.attainment:.4f} "
+                                       f"({m.slo.met}/{m.slo.total})"])
     out = [_fmt_table(["metric", "value"], rows,
                       f"serve — {spec.engine} / {spec.model} "
                       f"({args.workers} replica processes)")]
-    out += _write_observability(args, tracer, m)
+    out += _write_observability(args, tracer, m, events=events, pool=snap)
     return "\n".join(out)
 
 
@@ -437,10 +495,55 @@ def cmd_trace(args) -> str:
     return "\n".join(lines)
 
 
+def cmd_profile(args) -> str:
+    """Run one request and emit the roofline attribution report.
+
+    Per kernel class and per region: launches, time share, achieved DRAM
+    GB/s against the device peak, and SM efficiency — the Fig. 11/12
+    questions at serving granularity. ``--profile-out`` writes the full
+    stable-JSON report (a pure function of the seed).
+    """
+    import numpy as np
+
+    from repro.obs import attribute, write_report
+    from repro.serving import build_engine
+
+    spec = _loadgen_spec(args)
+    cfg = spec.model_config()
+    seq_len = min(args.seq_len, cfg.max_seq_len)
+    engine = build_engine(spec)
+    rng = np.random.default_rng(spec.seed)
+    x = rng.standard_normal((seq_len, cfg.d_model))
+    res = engine.run(x)
+
+    if args.profile_out:
+        report = write_report(args.profile_out, res.timeline)
+    else:
+        report = attribute(res.timeline)
+    tot = report["totals"]
+    out = []
+    for section in ("kernel_classes", "regions"):
+        rows = [[r["key"], r["launches"], r["time_us"],
+                 f"{r['time_share']:.1%}", r["achieved_gbs"],
+                 f"{r['bw_utilization']:.1%}", f"{r['sm_efficiency']:.1%}"]
+                for r in report[section]]
+        out.append(_fmt_table(
+            ["key", "launches", "us", "share", "GB/s", "bw util", "sm eff"],
+            rows, f"profile — {section.replace('_', ' ')}"))
+    out.append(f"totals: {tot['time_us']} us, {tot['num_kernels']} kernels, "
+               f"{tot['achieved_bw_gbs']} GB/s achieved "
+               f"({tot['bw_utilization']:.1%} of {report['device']['name']} "
+               f"peak), sm efficiency {tot['sm_efficiency']:.1%}")
+    if args.profile_out:
+        out.append(f"[report written to {args.profile_out} — "
+                   "stable JSON, diffable across same-seed runs]")
+    return "\n\n".join(out)
+
+
 LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13")
 ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
-SERVING_CMDS = ("serve", "loadgen", "trace")
+SERVING_CMDS = ("serve", "loadgen", "trace", "profile")
 
 
 def cmd_all(args) -> str:
@@ -519,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-depth", type=int, default=64, dest="max_depth",
                    help="queue depth before admission control rejects")
 
-    o = p.add_argument_group("observability (serve/loadgen/trace)")
+    o = p.add_argument_group("observability (serve/loadgen/trace/profile)")
     o.add_argument("--trace-out", default=None, dest="trace_out",
                    metavar="FILE",
                    help="write a Chrome trace_event JSON of the run "
@@ -527,9 +630,23 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--metrics-out", default=None, dest="metrics_out",
                    metavar="FILE",
                    help="write a Prometheus text exposition of the run's "
-                        "metrics")
+                        "metrics (pool runs include replica-level series)")
+    o.add_argument("--events-out", default=None, dest="events_out",
+                   metavar="FILE",
+                   help="write the flight recorder's lifecycle event log "
+                        "(JSONL; validate with tools/check_trace.py)")
+    o.add_argument("--slo-us", type=float, default=None, dest="slo_us",
+                   help="latency SLO budget in us (0 = per-bucket budgets "
+                        "priced by the cost model; omit for no deadlines)")
+    o.add_argument("--slo-scale", type=float, default=4.0, dest="slo_scale",
+                   help="head-room multiple for --slo-us 0 per-bucket "
+                        "budgets")
     o.add_argument("--seq-len", type=int, default=128, dest="seq_len",
-                   help="sequence length for the 'trace' command")
+                   help="sequence length for the 'trace'/'profile' commands")
+    o.add_argument("--profile-out", default=None, dest="profile_out",
+                   metavar="FILE",
+                   help="write the 'profile' command's roofline "
+                        "attribution report (stable JSON)")
     return p
 
 

@@ -23,8 +23,29 @@ whose ``enabled`` flag keeps the hot path allocation-free, so the cost
 model's reported numbers are identical with tracing off.
 """
 
+from repro.obs.attribution import attribute, report_json, write_report
 from repro.obs.chrome import chrome_trace, chrome_trace_json, write_chrome_trace
-from repro.obs.prometheus import prometheus_text, write_prometheus
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    write_events,
+)
+from repro.obs.history import (
+    GATED_METRICS,
+    Regression,
+    append_history,
+    check_regressions,
+    load_history,
+)
+from repro.obs.prometheus import (
+    pool_prometheus_text,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.slo import SloPolicy, SloTracker
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -36,16 +57,33 @@ from repro.obs.trace import (
 from repro.obs.windowed import WindowedMetrics
 
 __all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "GATED_METRICS",
+    "NULL_EVENT_LOG",
     "NULL_TRACER",
+    "NullEventLog",
     "NullTracer",
+    "Regression",
+    "SloPolicy",
+    "SloTracker",
     "Span",
     "Tracer",
     "WindowedMetrics",
+    "append_history",
+    "attribute",
+    "check_regressions",
     "chrome_trace",
     "chrome_trace_json",
     "engine_spans",
+    "load_history",
+    "pool_prometheus_text",
     "prometheus_text",
     "render_span_tree",
+    "report_json",
     "write_chrome_trace",
+    "write_events",
     "write_prometheus",
+    "write_report",
 ]

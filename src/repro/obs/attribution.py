@@ -1,0 +1,116 @@
+"""Roofline attribution: where did the time and bandwidth go?
+
+Post-processes a :class:`~repro.gpu.counters.Timeline` into a stable JSON
+report answering the paper's Fig. 11/12 questions at serving granularity:
+per *kernel class* (the kernel tag — gemm, softmax, attention phases) and
+per *region* (layer / request provenance labels), what share of wall time
+was spent, what DRAM bandwidth was achieved against the
+:class:`~repro.gpu.device.DeviceSpec` peak, and how busy the SMs were.
+
+The report is a pure function of the timeline — no wall clock, no RNG —
+so a seeded run emits a byte-identical artifact, and the per-region rows
+reconcile exactly with :meth:`Timeline.time_by_region` (tested).
+
+Exposed on the CLI as ``repro profile`` and consumable next to
+BENCH_serving.json / BENCH_history.jsonl.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+from repro.gpu.counters import Timeline, _PATTERN_OCCUPANCY
+
+#: Schema version of the emitted report (bump on breaking changes).
+REPORT_VERSION = 1
+
+
+def _round(x: float, nd: int = 6) -> float:
+    return round(float(x), nd)
+
+
+def _busy_us(rec, device) -> float:
+    """One launch's SM-busy time (the numerator of sm_efficiency)."""
+    return (rec.exec_time_us * min(1.0, rec.cost.ctas / device.num_sms)
+            * _PATTERN_OCCUPANCY[rec.cost.mem_pattern])
+
+
+def _group_rows(records, device, key_fn, total_us: float) -> list[dict]:
+    """Aggregate records into report rows under ``key_fn`` grouping."""
+    groups: dict[str, list] = defaultdict(list)
+    for r in records:
+        groups[key_fn(r)].append(r)
+    rows = []
+    for key in sorted(groups):
+        recs = groups[key]
+        time_us = sum(r.time_us for r in recs)
+        exec_us = sum(r.exec_time_us for r in recs)
+        moved = sum(r.cost.bytes_loaded + r.cost.bytes_stored for r in recs)
+        busy = sum(_busy_us(r, device) for r in recs)
+        achieved = moved / exec_us / 1e3 if exec_us > 0 else 0.0
+        rows.append({
+            "key": key,
+            "launches": len(recs),
+            "time_us": _round(time_us),
+            "time_share": _round(time_us / total_us if total_us else 0.0),
+            "flops": _round(sum(r.cost.flops for r in recs), 1),
+            "bytes_moved": _round(moved, 1),
+            "achieved_gbs": _round(achieved),
+            "bw_utilization": _round(achieved / device.peak_bw_gbs),
+            "sm_efficiency": _round(busy / time_us if time_us else 0.0),
+        })
+    return rows
+
+
+def attribute(timeline: Timeline) -> dict[str, object]:
+    """Build the roofline attribution report for one timeline.
+
+    Returns a JSON-serializable dict with ``device``, aggregate
+    ``totals``, and per-``kernel_classes`` / per-``regions`` rows sorted
+    by key (deterministic). Kernel classes are ``record.tag or
+    record.name`` — the same keying as :meth:`Timeline.time_by_tag`.
+    """
+    device = timeline.device
+    total_us = timeline.total_time_us
+    return {
+        "version": REPORT_VERSION,
+        "device": {
+            "name": device.name,
+            "num_sms": device.num_sms,
+            "peak_bw_gbs": device.peak_bw_gbs,
+            "peak_tc_tflops": device.peak_tc_tflops,
+            "peak_fp32_tflops": device.peak_fp32_tflops,
+        },
+        "totals": {
+            "time_us": _round(total_us),
+            "exec_time_us": _round(timeline.exec_time_us),
+            "num_kernels": timeline.num_kernels,
+            "flops": _round(timeline.flops, 1),
+            "bytes_moved": _round(
+                timeline.bytes_loaded + timeline.bytes_stored, 1),
+            "achieved_bw_gbs": _round(timeline.achieved_bw_gbs),
+            "bw_utilization": _round(
+                timeline.achieved_bw_gbs / device.peak_bw_gbs),
+            "sm_efficiency": _round(timeline.sm_efficiency),
+            "ipc": _round(timeline.ipc),
+        },
+        "kernel_classes": _group_rows(
+            timeline.records, device, lambda r: r.tag or r.name, total_us),
+        "regions": _group_rows(
+            timeline.records, device, lambda r: r.region, total_us),
+    }
+
+
+def report_json(timeline: Timeline) -> str:
+    """The attribution report as canonical (sorted-key) JSON text."""
+    return json.dumps(attribute(timeline), sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str, timeline: Timeline) -> dict[str, object]:
+    """Write the report to ``path``; returns the report dict."""
+    report = attribute(timeline)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, sort_keys=True, indent=2)
+        f.write("\n")
+    return report

@@ -77,6 +77,28 @@ def prometheus_text(metrics: "MetricsRegistry",
              "Served sequences per second of driver-clock time.",
              [("", snap["throughput_seq_s"])])
 
+    # SLO attainment: overall plus per-bucket / per-tenant / per-replica
+    # breakdowns. Series are present (zero-valued, no labeled samples)
+    # even when no request carried a deadline, keeping scrapes diffable.
+    w.series("slo_requests_total", "counter",
+             "Terminal requests that carried a deadline.",
+             [("", snap["slo_total"])])
+    w.series("slo_met_total", "counter",
+             "Deadline-carrying requests that met their deadline.",
+             [("", snap["slo_met"])])
+    w.series("slo_attainment", "gauge",
+             "Fraction of deadline-carrying requests that met the deadline.",
+             [("", snap["slo_attainment"])])
+    w.series("goodput_seq_s", "gauge",
+             "Deadline-meeting sequences per second of driver-clock time.",
+             [("", snap["goodput_seq_s"])])
+    for group, label in (("bucket", "bucket"), ("tenant", "tenant"),
+                         ("replica", "replica")):
+        rates = metrics.slo.attainment_by(group)
+        w.series(f"slo_attainment_by_{group}", "gauge",
+                 f"SLO attainment per {group}.",
+                 [(f'{{{label}="{k}"}}', v) for k, v in rates.items()])
+
     sources = sorted(metrics.plan_cache)
     for key, kind, help_text in (
         ("hits", "counter", "Plan-cache hits per source."),
@@ -107,6 +129,9 @@ def prometheus_text(metrics: "MetricsRegistry",
     w.series("throughput_ewma_seq_s", "gauge",
              "EWMA of the instantaneous completion rate.",
              [("", wsnap["ewma_throughput_seq_s"])])
+    w.series("window_slo_attainment", "gauge",
+             "SLO attainment over the rolling window.",
+             [("", wsnap["window_slo_attainment"])])
 
     # Histogram series follow the _bucket/_sum/_count naming convention.
     full = f"{namespace}_batch_size"
@@ -160,9 +185,24 @@ def pool_prometheus_text(pool: dict, namespace: str = "repro") -> str:
     w.series("pool_shm_bytes", "gauge",
              "Bytes of the shared read-only weight segment.",
              [("", float(pool.get("shm_bytes", 0.0)))])
+    w.series("pool_shm_segments", "gauge",
+             "Live (linked) shared-memory weight segments; 0 after drain.",
+             [("", float(pool.get("shm_segments", 0.0)))])
     w.series("pool_worker_deaths_total", "counter",
              "Replica processes that died and were retired.",
              [("", float(pool.get("worker_deaths", 0.0)))])
+    # Replica-shipped cumulative counters (ride the BatchResult IPC
+    # channel): engine busy time and batches executed per replica.
+    w.series("pool_replica_busy_us_total", "counter",
+             "Cost-model microseconds a replica spent executing batches.",
+             [(f'{{replica="{rid}"}}',
+               float(r.get("counters", {}).get("busy_us", 0.0)))
+              for rid, r in rows])
+    w.series("pool_replica_batches_total", "counter",
+             "Batches a replica has executed.",
+             [(f'{{replica="{rid}"}}',
+               float(r.get("counters", {}).get("batches", 0.0)))
+              for rid, r in rows])
     tenants: dict = pool.get("tenants_inflight", {})  # type: ignore[assignment]
     w.series("pool_tenant_inflight", "gauge",
              "In-flight requests per admitted tenant.",

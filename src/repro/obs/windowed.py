@@ -32,6 +32,7 @@ class WindowedMetrics:
         self.ewma_alpha = ewma_alpha
         self._lat: deque[tuple[float, float]] = deque()
         self._queue: deque[tuple[float, float]] = deque()
+        self._slo: deque[tuple[float, bool]] = deque()
         self._now_us = 0.0
         self._last_completion_us: float | None = None
         self.ewma_throughput_seq_s = 0.0
@@ -45,16 +46,19 @@ class WindowedMetrics:
     def _advance(self, ts_us: float) -> None:
         self._now_us = max(self._now_us, ts_us)
         horizon = self._now_us - self.window_us
-        for dq in (self._lat, self._queue):
+        for dq in (self._lat, self._queue, self._slo):
             while dq and dq[0][0] < horizon:
                 dq.popleft()
 
     def observe_request(self, ts_us: float, latency_us: float,
-                        queue_us: float) -> None:
+                        queue_us: float,
+                        slo_met: bool | None = None) -> None:
         """Record one completed request at its finish time."""
         self._advance(ts_us)
         self._lat.append((ts_us, latency_us))
         self._queue.append((ts_us, queue_us))
+        if slo_met is not None:
+            self._slo.append((ts_us, slo_met))
         if self._last_completion_us is not None:
             gap = ts_us - self._last_completion_us
             inst = 1e6 / gap if gap > 0 else self.ewma_throughput_seq_s
@@ -94,6 +98,13 @@ class WindowedMetrics:
             return 0.0
         return sum(v for _, v in self._queue) / len(self._queue)
 
+    @property
+    def window_slo_attainment(self) -> float:
+        """Fraction of windowed SLO-carrying completions that met deadline."""
+        if not self._slo:
+            return 0.0
+        return sum(1 for _, met in self._slo if met) / len(self._slo)
+
     def hist_cumulative(self, bucket: int) -> list[tuple[str, int]]:
         """Prometheus-style cumulative ``(le, count)`` rows for one bucket."""
         counts = self.batch_hist.get(bucket, Counter())
@@ -109,6 +120,7 @@ class WindowedMetrics:
         out = {
             "window_count": float(self.window_count),
             "window_mean_queue_us": self.mean_queue_us,
+            "window_slo_attainment": self.window_slo_attainment,
             "ewma_throughput_seq_s": self.ewma_throughput_seq_s,
         }
         for p in (50.0, 95.0, 99.0):

@@ -29,6 +29,7 @@ from repro.serving.loadgen import (
     LoadgenResult,
     LoadgenSpec,
     build_engine,
+    make_slo_policy,
     run_loadgen,
 )
 from repro.serving.metrics import MetricsRegistry
@@ -66,6 +67,7 @@ __all__ = [
     "SchedulerConfig",
     "build_engine",
     "make_policy",
+    "make_slo_policy",
     "model_crossover",
     "run_loadgen",
 ]

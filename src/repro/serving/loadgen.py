@@ -24,6 +24,8 @@ import numpy as np
 from repro.config import BERT_BASE, DISTILBERT, TRANSFORMER_WT2, ModelConfig, \
     small_config
 from repro.eval.format import percentile_rows, render_table
+from repro.obs.events import EventLog
+from repro.obs.slo import SloPolicy
 from repro.obs.trace import NullTracer, Tracer
 from repro.pruning import PruneMethod
 from repro.runtime.plan import PLAN_CACHE
@@ -75,6 +77,11 @@ class LoadgenSpec:
     max_wait_us: float = 2_000.0
     max_depth: int = 64
     packed: bool | None = None  # None = engine decides (packed when able)
+    #: SLO budget: ``None`` = no deadlines, ``0`` = per-bucket defaults
+    #: priced by the cost model, ``> 0`` = one fixed budget in us.
+    slo_us: float | None = None
+    #: Head-room multiple for the per-bucket default budgets.
+    slo_scale: float = 4.0
 
     def model_config(self) -> ModelConfig:
         if self.model == "small":
@@ -91,6 +98,7 @@ class LoadgenResult:
     crossover: int
     responses: list[Response]
     metrics: MetricsRegistry
+    slo: SloPolicy | None = None
     report: str = field(default="", repr=False)
 
 
@@ -125,7 +133,8 @@ def build_payloads(spec: LoadgenSpec) -> dict[int, np.ndarray]:
 
 
 def open_loop_arrivals(spec: LoadgenSpec,
-                       payloads: dict[int, np.ndarray]) -> list[Request]:
+                       payloads: dict[int, np.ndarray],
+                       slo: SloPolicy | None = None) -> list[Request]:
     """Poisson arrivals: seeded exponential gaps at ``rate_per_s``."""
     if spec.rate_per_s <= 0:
         raise ValueError(f"rate must be positive: {spec.rate_per_s}")
@@ -134,13 +143,18 @@ def open_loop_arrivals(spec: LoadgenSpec,
     gaps_us = rng.exponential(1e6 / spec.rate_per_s, size=spec.num_requests)
     arrivals = np.cumsum(gaps_us)
     chosen = rng.choice(len(lens), size=spec.num_requests)
-    return [
-        Request(rid=i, x=payloads[lens[chosen[i]]], arrival_us=float(arrivals[i]))
-        for i in range(spec.num_requests)
-    ]
+    out = []
+    for i in range(spec.num_requests):
+        s = lens[chosen[i]]
+        arrival = float(arrivals[i])
+        out.append(Request(
+            rid=i, x=payloads[s], arrival_us=arrival,
+            deadline_us=None if slo is None else slo.deadline_us(s, arrival)))
+    return out
 
 
-def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray]):
+def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray],
+                       slo: SloPolicy | None = None):
     """Initial requests + follow-up callback for closed-loop load.
 
     Each of ``spec.clients`` clients issues its next request the instant
@@ -158,8 +172,11 @@ def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray]):
 
     def make(client: int, rid: int, arrival_us: float) -> Request:
         issued[client] += 1
-        return Request(rid=rid, x=payloads[lens[chosen[rid]]],
-                       arrival_us=arrival_us, client=client)
+        s = lens[chosen[rid]]
+        return Request(rid=rid, x=payloads[s],
+                       arrival_us=arrival_us, client=client,
+                       deadline_us=None if slo is None
+                       else slo.deadline_us(s, arrival_us))
 
     initial = [make(c, c, 0.0) for c in range(n_clients)]
     next_rid = [n_clients]
@@ -176,14 +193,33 @@ def closed_loop_driver(spec: LoadgenSpec, payloads: dict[int, np.ndarray]):
     return initial, follow_up
 
 
+def make_slo_policy(spec: LoadgenSpec, engine,
+                    policy: BucketPolicy) -> SloPolicy | None:
+    """The spec's SLO policy: fixed budget, per-bucket defaults, or none.
+
+    ``slo_us=0`` selects the cost-model defaults: each bucket's budget is
+    ``slo_scale ×`` the engine's modeled latency at the bucket's upper
+    edge. A positive ``slo_us`` is one fixed budget for every length.
+    """
+    if spec.slo_us is None:
+        return None
+    fixed = spec.slo_us if spec.slo_us > 0 else None
+    return SloPolicy.from_cost_model(
+        policy, lambda s: engine.latency_us(seq_len=s),
+        scale=spec.slo_scale, fixed_us=fixed)
+
+
 def run_loadgen(spec: LoadgenSpec,
-                tracer: Tracer | None = None) -> LoadgenResult:
+                tracer: Tracer | None = None,
+                events: EventLog | None = None) -> LoadgenResult:
     """Execute one deterministic load-generation run and render its report.
 
     Pass a :class:`~repro.obs.trace.Tracer` to collect the run's span tree
-    (request → batch → layer → kernel); with the default ``None`` the
-    scheduler keeps its zero-overhead :class:`NullTracer` and the report is
-    byte-identical to an untraced run — tracing is observational only.
+    (request → batch → layer → kernel) and/or an
+    :class:`~repro.obs.events.EventLog` to record lifecycle events; with
+    the defaults the scheduler keeps its zero-overhead null recorders and
+    the report is byte-identical to an uninstrumented run — observation
+    never changes a reported number.
     """
     cfg = spec.model_config()
     engine = build_engine(spec)
@@ -191,6 +227,7 @@ def run_loadgen(spec: LoadgenSpec,
     crossover = model_crossover(cfg.num_heads, cfg.d_head,
                                 max(payloads), device=engine.device)
     policy = make_policy(spec.policy, crossover, max(payloads))
+    slo = make_slo_policy(spec, engine, policy)
     batcher = DynamicBatcher(policy, max_batch=spec.max_batch,
                              max_wait_us=spec.max_wait_us)
     workers = [EngineWorker(engine, memoize_by_len=True, packed=spec.packed)
@@ -202,17 +239,20 @@ def run_loadgen(spec: LoadgenSpec,
                                max_depth=spec.max_depth),
         tracer=tracer if tracer is not None else NullTracer(),
     )
+    if events is not None:
+        sched.events = events
     if spec.mode == "closed":
-        initial, follow_up = closed_loop_driver(spec, payloads)
+        initial, follow_up = closed_loop_driver(spec, payloads, slo=slo)
         responses = sched.run(initial, next_request=follow_up)
     elif spec.mode == "open":
-        responses = sched.run(open_loop_arrivals(spec, payloads))
+        responses = sched.run(open_loop_arrivals(spec, payloads, slo=slo))
     else:
         raise ValueError(f"unknown mode {spec.mode!r}")
 
     sched.metrics.observe_plan_cache(PLAN_CACHE.stats(), source="scheduler")
     result = LoadgenResult(spec=spec, policy=policy, crossover=crossover,
-                           responses=responses, metrics=sched.metrics)
+                           responses=responses, metrics=sched.metrics,
+                           slo=slo)
     result.report = _render_report(result)
     return result
 
@@ -240,6 +280,19 @@ def _render_report(result: LoadgenResult) -> str:
         ["completed", m.completed],
         ["rejected", m.rejected],
     ]
+    if result.slo is not None:
+        rows += [
+            ["slo attainment", f"{m.slo.attainment:.4f} "
+                               f"({m.slo.met}/{m.slo.total})"],
+            ["goodput (seq/s)", m.goodput_seq_s],
+        ]
+        for b, rate in m.slo.attainment_by("bucket").items():
+            budget = (result.slo.fixed_us if result.slo.fixed_us is not None
+                      else result.slo.budgets_us[b])
+            rows.append([f"slo bucket {result.policy.label(b)}",
+                         f"{rate:.4f} (budget {budget:.0f} us)"])
+        for t, rate in m.slo.attainment_by("tenant").items():
+            rows.append([f"slo tenant {t}", f"{rate:.4f}"])
     return render_table(
         ["metric", "value"], rows,
         title=f"loadgen — {spec.engine} / {spec.model}, seed {spec.seed}")

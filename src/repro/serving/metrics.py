@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.eval.metrics import percentile
+from repro.obs.slo import SloTracker
 from repro.obs.windowed import WindowedMetrics
 from repro.serving.request import Response
 
@@ -38,6 +39,7 @@ class MetricsRegistry:
         #: or replica); sources *replace* their entry on each observation.
         self.plan_cache: dict[str, dict[str, float]] = {}
         self.window = window or WindowedMetrics()
+        self.slo = SloTracker()
         self._first_arrival_us: float | None = None
         self._last_finish_us = 0.0
 
@@ -51,6 +53,7 @@ class MetricsRegistry:
         # Rejections are terminal events too: a run ending in a rejection
         # burst must extend the makespan, or throughput_seq_s is skewed.
         self._last_finish_us = max(self._last_finish_us, resp.finish_us)
+        slo_met = self.slo.observe(resp)  # rejections count as misses
         if not resp.ok:
             self.rejected += 1
             return
@@ -60,7 +63,7 @@ class MetricsRegistry:
         self.queue_us.append(resp.queue_us)
         self.service_us.append(resp.service_us)
         self.window.observe_request(resp.finish_us, resp.latency_us,
-                                    resp.queue_us)
+                                    resp.queue_us, slo_met=slo_met)
 
     def observe_batch(self, size: int, bucket: int = -1,
                       ts_us: float = 0.0) -> None:
@@ -118,6 +121,14 @@ class MetricsRegistry:
             return 0.0
         return self.completed / (span / 1e6)
 
+    @property
+    def goodput_seq_s(self) -> float:
+        """Deadline-meeting sequences per second of driver-clock makespan."""
+        span = self.makespan_us
+        if span <= 0.0:
+            return 0.0
+        return self.slo.met / (span / 1e6)
+
     def snapshot(self) -> dict[str, float]:
         """The report counters as one flat dict (tests and benches).
 
@@ -141,4 +152,8 @@ class MetricsRegistry:
         for key in ("hits", "misses", "evictions", "size"):
             out[f"plan_cache_{key}"] = float(sum(
                 s.get(key, 0.0) for s in self.plan_cache.values()))
+        out["slo_total"] = float(self.slo.total)
+        out["slo_met"] = float(self.slo.met)
+        out["slo_attainment"] = self.slo.attainment
+        out["goodput_seq_s"] = self.goodput_seq_s
         return out

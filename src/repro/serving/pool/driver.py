@@ -22,9 +22,15 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.bucketing import BucketPolicy, make_policy, model_crossover
-from repro.serving.loadgen import LoadgenSpec, build_engine, build_payloads
+from repro.serving.loadgen import (
+    LoadgenSpec,
+    build_engine,
+    build_payloads,
+    make_slo_policy,
+)
 from repro.serving.pool.server import PoolServer
 from repro.serving.queue import QueueFullError
 from repro.serving.request import Response
@@ -39,6 +45,7 @@ def build_pool_server(
     tracer: Tracer = NULL_TRACER,
     return_outputs: bool = True,
     max_inflight_per_tenant: int | None = None,
+    events: EventLog = NULL_EVENT_LOG,
 ) -> tuple[PoolServer, dict[int, np.ndarray], BucketPolicy, int]:
     """A pool configured like the loadgen scheduler for ``spec``.
 
@@ -58,6 +65,7 @@ def build_pool_server(
         tracer=tracer, payload_table=payloads, packed=spec.packed,
         memoize_by_len=True, return_outputs=return_outputs,
         max_inflight_per_tenant=max_inflight_per_tenant,
+        events=events, slo=make_slo_policy(spec, engine, policy),
     )
     return server, payloads, policy, crossover
 

@@ -100,10 +100,16 @@ class Router:
     """
 
     def __init__(self, replica_ids: list[int],
-                 cost_fn: Callable[[int], float]) -> None:
+                 cost_fn: Callable[[int], float],
+                 on_steal: "Callable[[int, int, Batch], None] | None" = None
+                 ) -> None:
         if not replica_ids:
             raise ValueError("router needs at least one replica")
         self.cost_fn = cost_fn
+        #: Observer called as ``(thief, victim, batch)`` after each steal,
+        #: outside the router lock (the pool server wires this to the
+        #: flight recorder; the router itself stays clock-free).
+        self.on_steal = on_steal
         self._lock = threading.Lock()
         self._outstanding: dict[int, float] = {r: 0.0 for r in replica_ids}
         self._backlog: dict[int, deque["Batch"]] = {
@@ -167,7 +173,9 @@ class Router:
             self._owner[batch.batch_id] = rid
             self.steals += 1
             self.dispatched += 1
-            return batch
+        if self.on_steal is not None:  # outside the lock: observer code
+            self.on_steal(rid, victim, batch)
+        return batch
 
     def complete(self, batch_id: int) -> int:
         """Settle a finished batch's cost; returns the replica that ran it."""

@@ -41,14 +41,20 @@ from multiprocessing import get_context
 import numpy as np
 
 from repro.gpu.counters import Timeline
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.prometheus import pool_prometheus_text, prometheus_text
+from repro.obs.slo import SloPolicy
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.engine import Engine, EngineResult
-from repro.runtime.shm import SharedWeightStore
+from repro.runtime.shm import SharedWeightStore, segment_exists
 from repro.serving.batcher import Batch, DynamicBatcher
 from repro.serving.bucketing import BucketPolicy
 from repro.serving.metrics import MetricsRegistry
-from repro.serving.pool.router import AdmissionController, Router
+from repro.serving.pool.router import (
+    AdmissionController,
+    QuotaExceededError,
+    Router,
+)
 from repro.serving.pool.worker import (
     STOP,
     BatchResult,
@@ -82,6 +88,8 @@ class PoolServer:
         pipeline_depth: int = 2,
         return_outputs: bool = True,
         start_timeout_s: float = 120.0,
+        events: EventLog = NULL_EVENT_LOG,
+        slo: SloPolicy | None = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError(f"need at least one replica, got {n_workers}")
@@ -92,6 +100,8 @@ class PoolServer:
         self.policy = policy
         self.n_workers = n_workers
         self.tracer = tracer
+        self.events = events
+        self.slo = slo
         self.payload_table = payload_table
         self.packed = packed
         self.memoize_by_len = memoize_by_len
@@ -101,6 +111,9 @@ class PoolServer:
         self.metrics = MetricsRegistry()
         self.worker_deaths = 0
         self.shm_bytes = 0
+        self._segment_name: str | None = None
+        #: Latest cumulative per-replica counters shipped over IPC.
+        self._replica_counters: dict[int, dict[str, float]] = {}
         self._queue = RequestQueue(max_depth=max_depth)
         self._batcher = DynamicBatcher(policy, max_batch=max_batch,
                                        max_wait_us=max_wait_us)
@@ -158,7 +171,9 @@ class PoolServer:
             self._t0 = time.monotonic()  # etlint: disable=ET301 timing boundary
             self._store = SharedWeightStore.create(self.engine.weights)
             self.shm_bytes = self._store.nbytes
-            self._router = Router(list(range(self.n_workers)), self._price)
+            self._segment_name = self._store.manifest.segment
+            self._router = Router(list(range(self.n_workers)), self._price,
+                                  on_steal=self._on_steal)
             self._result_q = self._ctx.Queue()
             self._task_qs = {}
             self._procs = {}
@@ -241,6 +256,11 @@ class PoolServer:
         self._drain_stray_messages()
         self._queue.close()
         self._destroy_store()
+        # Drain contract: the weight segment must be gone. A leak here is a
+        # lifecycle bug (crashed owner, double attach) that would otherwise
+        # only surface as a stale /dev/shm file.
+        assert self._live_segments() == 0, \
+            f"leaked shared-memory segment {self._segment_name!r} after stop"
 
     def _reject_unsent(self) -> None:
         """No-drain stop: turn away everything not already on a replica."""
@@ -297,6 +317,23 @@ class PoolServer:
             store.close()
             store.unlink()
 
+    def _live_segments(self) -> int:
+        """How many of this pool's weight segments are still linked.
+
+        One segment per pool, so this is 1 while serving and must be 0
+        after :meth:`stop`; exported as the ``pool_shm_segments`` gauge.
+        """
+        if self._segment_name is None:
+            return 0
+        return 1 if segment_exists(self._segment_name) else 0
+
+    def _on_steal(self, thief: int, victim: int, batch: Batch) -> None:
+        """Router steal observer: record the migration in the recorder."""
+        if self.events.enabled:
+            self.events.emit("steal", self._now_us(),
+                             batch_id=batch.batch_id, bucket=batch.bucket,
+                             size=batch.size, replica=thief, src=victim)
+
     def __enter__(self) -> "PoolServer":
         return self.start()
 
@@ -315,22 +352,51 @@ class PoolServer:
         shared queue is at depth and :class:`QuotaExceededError` when the
         tenant is over its in-flight quota."""
         x = np.asarray(x, dtype=np.float64)
-        self.policy.bucket_of(int(x.shape[0]))  # reject oversize up front
+        seq_len = int(x.shape[0])
+        self.policy.bucket_of(seq_len)  # reject oversize up front
         fut: Future[Response] = Future()
-        self._admission.admit(client)
+        try:
+            self._admission.admit(client)
+        except QuotaExceededError:
+            # Quota rejections precede rid assignment: the event carries
+            # the tenant, not a rid (the request never entered the system).
+            if self.events.enabled:
+                self.events.emit("quota_reject", self._now_us(),
+                                 seq_len=seq_len, tenant=client)
+            raise
         try:
             with self._work:
                 if not self._running:
                     raise RuntimeError("server is not running")
                 rid = self._next_rid
                 self._next_rid += 1
-                req = Request(rid=rid, x=x, arrival_us=self._now_us(),
-                              priority=priority, client=client, mask=mask)
+                arrival = self._now_us()
+                deadline = (None if self.slo is None else
+                            self.slo.deadline_us(seq_len, arrival))
+                req = Request(rid=rid, x=x, arrival_us=arrival,
+                              priority=priority, client=client, mask=mask,
+                              deadline_us=deadline)
                 self.metrics.observe_queue_depth(self._queue.depth)
                 if self.tracer.enabled:
                     self.tracer.counter("queue_depth", req.arrival_us,
                                         self._queue.depth)
-                self._queue.put(req)  # QueueFullError propagates
+                if self.events.enabled:
+                    self.events.emit("admit", arrival, rid=rid,
+                                     seq_len=seq_len, tenant=client,
+                                     deadline_us=deadline)
+                try:
+                    self._queue.put(req)  # QueueFullError propagates
+                except Exception:
+                    if self.events.enabled:
+                        self.events.emit(
+                            "reject", arrival, rid=rid, seq_len=seq_len,
+                            tenant=client, deadline_us=deadline,
+                            slo_met=False if deadline is not None else None,
+                            detail="queue_full")
+                    raise
+                if self.events.enabled:
+                    self.events.emit("enqueue", arrival, rid=rid,
+                                     seq_len=seq_len)
                 self._futures[rid] = fut
                 self._work.notify_all()
         except BaseException:
@@ -354,6 +420,7 @@ class PoolServer:
                     "inpipe": float(self._inpipe.get(rid, 0)),
                     "alive": bool(self._procs[rid].is_alive())
                     if rid in self._procs else False,
+                    "counters": dict(self._replica_counters.get(rid, {})),
                 }
                 for rid, snap in router_snap.items()
             }
@@ -364,6 +431,7 @@ class PoolServer:
             "batches_dispatched": float(self._router.dispatched)
             if self._router else 0.0,
             "shm_bytes": float(shm_bytes),
+            "shm_segments": float(self._live_segments()),
             "worker_deaths": float(self.worker_deaths),
             "tenants_inflight": self._admission.snapshot(),
         }
@@ -395,6 +463,10 @@ class PoolServer:
                     self._work.wait(timeout)
             # Booking may price unseen lengths through the parent engine —
             # never hold the condition across it.
+            if self.events.enabled:
+                self.events.emit("batch_formed", self._now_us(),
+                                 batch_id=batch.batch_id,
+                                 bucket=batch.bucket, size=batch.size)
             self._router.assign(batch)  # type: ignore[union-attr]
             self._feed()
 
@@ -415,6 +487,11 @@ class PoolServer:
                     self._inpipe[rid] = self._inpipe.get(rid, 0) + 1
                     self.metrics.observe_batch(batch.size, batch.bucket,
                                                start)
+                    if self.events.enabled:
+                        self.events.emit("dispatch", start,
+                                         batch_id=batch.batch_id,
+                                         bucket=batch.bucket,
+                                         size=batch.size, replica=rid)
                     sends.append((rid, self._make_task(batch)))
         for rid, task in sends:
             try:
@@ -462,6 +539,8 @@ class PoolServer:
             if msg.plan_stats:
                 self.metrics.observe_plan_cache(
                     msg.plan_stats, source=f"replica{msg.worker_id}")
+            self._replica_counters[msg.worker_id] = {
+                "busy_us": msg.busy_us, "batches": float(msg.batches_run)}
             self._work.notify_all()
 
     def _on_result(self, result: BatchResult) -> None:
@@ -473,9 +552,17 @@ class PoolServer:
                 if result.plan_stats:
                     self.metrics.observe_plan_cache(
                         result.plan_stats, source=f"replica{rid}")
+                if result.counters:
+                    self._replica_counters[result.worker_id] = \
+                        dict(result.counters)
         if entry is None:
             return  # batch was re-booked after a presumed death; drop dup
         self._router.complete(result.batch_id)  # type: ignore[union-attr]
+        if self.events.enabled:
+            self.events.emit("exec", start + result.service_us,
+                             batch_id=result.batch_id, bucket=batch.bucket,
+                             size=batch.size, replica=result.worker_id,
+                             detail=result.error and "error")
         if result.error is not None:
             now = self._now_us()
             for req in batch.requests:
@@ -509,13 +596,28 @@ class PoolServer:
                 arrival_us=req.arrival_us, start_us=start, finish_us=finish,
                 service_us=result.service_us, batch_id=batch.batch_id,
                 batch_size=batch.size, bucket=batch.bucket,
-                seq_len=req.seq_len, client=req.client, output=output)
+                seq_len=req.seq_len, client=req.client, replica=rid,
+                deadline_us=req.deadline_us, output=output)
             self._finish_response(req, resp)
 
     def _finish_response(self, req: Request, resp: Response) -> None:
         with self._work:
             fut = self._futures.pop(req.rid, None)
             self.metrics.observe_response(resp)
+            if self.events.enabled:  # one terminal event per rid
+                if resp.ok:
+                    self.events.emit(
+                        "complete", resp.finish_us, rid=req.rid,
+                        batch_id=resp.batch_id, bucket=resp.bucket,
+                        seq_len=req.seq_len, tenant=req.client,
+                        replica=resp.replica, deadline_us=req.deadline_us,
+                        slo_met=resp.slo_met)
+                else:
+                    self.events.emit(
+                        "reject", resp.finish_us, rid=req.rid,
+                        seq_len=req.seq_len, tenant=req.client,
+                        deadline_us=req.deadline_us, slo_met=resp.slo_met,
+                        detail="shed")
         self._admission.release(req.client)
         if fut is not None:
             fut.set_result(resp)
@@ -538,6 +640,8 @@ class PoolServer:
         todo: list[Batch] = []
         victims: list[Request] = []
         for rid in dead:
+            if self.events.enabled:
+                self.events.emit("worker_death", self._now_us(), replica=rid)
             todo.extend(router.retire(rid))
             with self._work:
                 self.worker_deaths += 1
@@ -552,7 +656,11 @@ class PoolServer:
         survivors = router.replica_ids
         if survivors:
             for b in todo:
-                router.assign(b)
+                new_rid = router.assign(b)
+                if self.events.enabled:
+                    self.events.emit("rebook", self._now_us(),
+                                     batch_id=b.batch_id, bucket=b.bucket,
+                                     size=b.size, replica=new_rid)
         else:
             for b in todo:
                 victims.extend(b.requests)

@@ -89,6 +89,11 @@ class BatchResult:
     records: list[list[KernelRecord]] | None
     #: The replica's process-wide plan-cache counters after this batch.
     plan_stats: dict[str, int] = field(default_factory=dict)
+    #: Cumulative replica counters after this batch (``busy_us``,
+    #: ``batches``): the event/counter delta channel the flight recorder
+    #: and pool Prometheus series aggregate — cumulative, so a lost or
+    #: reordered message never corrupts the totals.
+    counters: dict[str, float] = field(default_factory=dict)
     error: str | None = None
 
 
@@ -100,6 +105,11 @@ class WorkerGoodbye:
     batches_run: int
     busy_us: float
     plan_stats: dict[str, int] = field(default_factory=dict)
+
+
+def worker_counters(worker: EngineWorker) -> dict[str, float]:
+    """The cumulative per-replica counters shipped with every result."""
+    return {"busy_us": worker.busy_us, "batches": float(worker.batches_run)}
 
 
 def _resolve_payload(entry: object,
@@ -130,6 +140,7 @@ def run_task(task: BatchTask, worker: EngineWorker, worker_id: int,
             worker_id=worker_id, batch_id=task.batch_id, service_us=0.0,
             latencies_us=[], outputs=None, choices=[], records=None,
             plan_stats=PLAN_CACHE.stats(),
+            counters=worker_counters(worker),
             error=f"{type(exc).__name__}: {exc}")
     return BatchResult(
         worker_id=worker_id, batch_id=task.batch_id, service_us=service_us,
@@ -140,6 +151,7 @@ def run_task(task: BatchTask, worker: EngineWorker, worker_id: int,
         records=[list(res.timeline.records) for res in results]
         if task.want_trace else None,
         plan_stats=PLAN_CACHE.stats(),
+        counters=worker_counters(worker),
     )
 
 

@@ -33,6 +33,7 @@ class Request:
     priority: int = 0  # higher dispatches first within a bucket
     client: int = 0  # issuing client (closed-loop bookkeeping)
     mask: np.ndarray | None = None
+    deadline_us: float | None = None  # absolute SLO deadline (driver clock)
 
     @property
     def seq_len(self) -> int:
@@ -55,6 +56,8 @@ class Response:
     bucket: int = -1
     seq_len: int = 0
     client: int = 0
+    replica: int = -1  # worker/replica index that executed the batch
+    deadline_us: float | None = None  # absolute SLO deadline (driver clock)
     output: np.ndarray | None = field(default=None, repr=False)
 
     @property
@@ -72,9 +75,21 @@ class Response:
         """End-to-end latency: arrival to batch completion."""
         return self.finish_us - self.arrival_us
 
+    @property
+    def slo_met(self) -> bool | None:
+        """Whether the deadline was met (None when no SLO was set).
+
+        A rejection with a deadline counts as a miss: the client asked for
+        an answer by ``deadline_us`` and got none.
+        """
+        if self.deadline_us is None:
+            return None
+        return self.ok and self.finish_us <= self.deadline_us
+
     @classmethod
     def rejected(cls, req: Request, now_us: float) -> "Response":
         """A backpressure rejection recorded at admission time."""
         return cls(rid=req.rid, status=ResponseStatus.REJECTED,
                    arrival_us=req.arrival_us, start_us=now_us,
-                   finish_us=now_us, seq_len=req.seq_len, client=req.client)
+                   finish_us=now_us, seq_len=req.seq_len, client=req.client,
+                   deadline_us=req.deadline_us)

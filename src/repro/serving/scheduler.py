@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.trace import NullTracer, Tracer, engine_spans
 from repro.runtime.engine import Engine, EngineResult
 from repro.serving.batcher import Batch, DynamicBatcher
@@ -142,6 +143,7 @@ class Scheduler:
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = field(default_factory=NullTracer)
+    events: EventLog = field(default_factory=lambda: NULL_EVENT_LOG)
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -173,13 +175,27 @@ class Scheduler:
                 if self.tracer.enabled:
                     self.tracer.counter("queue_depth", req.arrival_us,
                                         queue.depth)
+                if self.events.enabled:
+                    self.events.emit("admit", req.arrival_us, rid=req.rid,
+                                     seq_len=req.seq_len, tenant=req.client,
+                                     deadline_us=req.deadline_us)
                 try:
                     queue.put(req)
+                    if self.events.enabled:
+                        self.events.emit("enqueue", req.arrival_us,
+                                         rid=req.rid, seq_len=req.seq_len)
                 except QueueFullError:
                     resp = Response.rejected(req, req.arrival_us)
                     self.metrics.observe_response(resp)
                     if self.tracer.enabled:
                         trace_rejection(self.tracer, req, req.arrival_us)
+                    if self.events.enabled:
+                        self.events.emit("reject", req.arrival_us,
+                                         rid=req.rid, seq_len=req.seq_len,
+                                         tenant=req.client,
+                                         deadline_us=req.deadline_us,
+                                         slo_met=resp.slo_met,
+                                         detail="queue_full")
                     responses.append(resp)
                     if next_request is not None:
                         follow = next_request(resp)
@@ -235,15 +251,28 @@ class Scheduler:
         if self.tracer.enabled:
             trace_batch(self.tracer, batch, worker.engine.name, w_idx,
                         start, finish, results)
+        if self.events.enabled:
+            self.events.emit("batch_formed", start, batch_id=batch.batch_id,
+                             bucket=batch.bucket, size=batch.size)
+            self.events.emit("dispatch", start, batch_id=batch.batch_id,
+                             bucket=batch.bucket, size=batch.size,
+                             replica=w_idx)
         for req, res in zip(batch.requests, results):
             resp = Response(
                 rid=req.rid, status=ResponseStatus.OK,
                 arrival_us=req.arrival_us, start_us=start, finish_us=finish,
                 service_us=service_us, batch_id=batch.batch_id,
                 batch_size=batch.size, bucket=batch.bucket,
-                seq_len=req.seq_len, client=req.client, output=res.output,
+                seq_len=req.seq_len, client=req.client, replica=w_idx,
+                deadline_us=req.deadline_us, output=res.output,
             )
             self.metrics.observe_response(resp)
+            if self.events.enabled:
+                self.events.emit("complete", finish, rid=req.rid,
+                                 batch_id=batch.batch_id, bucket=batch.bucket,
+                                 seq_len=req.seq_len, tenant=req.client,
+                                 replica=w_idx, deadline_us=req.deadline_us,
+                                 slo_met=resp.slo_met)
             responses.append(resp)
             if next_request is not None:
                 follow = next_request(resp)

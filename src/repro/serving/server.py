@@ -18,7 +18,9 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.prometheus import prometheus_text
+from repro.obs.slo import SloPolicy
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.engine import Engine
 from repro.runtime.plan import PLAN_CACHE
@@ -41,11 +43,15 @@ class AsyncServer:
         max_wait_us: float = 2_000.0,
         max_depth: int = 64,
         tracer: Tracer = NULL_TRACER,
+        events: EventLog = NULL_EVENT_LOG,
+        slo: SloPolicy | None = None,
     ) -> None:
         if not engines:
             raise ValueError("need at least one engine")
         self.policy = policy
         self.tracer = tracer
+        self.events = events
+        self.slo = slo
         self.metrics = MetricsRegistry()
         self._queue = RequestQueue(max_depth=max_depth)
         self._batcher = DynamicBatcher(policy, max_batch=max_batch,
@@ -94,6 +100,13 @@ class AsyncServer:
                 with self._work:
                     fut = self._futures.pop(req.rid, None)
                     self.metrics.observe_response(resp)
+                    if self.events.enabled:
+                        self.events.emit("reject", resp.finish_us,
+                                         rid=req.rid, seq_len=req.seq_len,
+                                         tenant=req.client,
+                                         deadline_us=req.deadline_us,
+                                         slo_met=resp.slo_met,
+                                         detail="shutdown_drop")
                 if fut is not None:
                     fut.set_result(resp)
         self._queue.close()
@@ -124,13 +137,33 @@ class AsyncServer:
                 raise RuntimeError("server is not running")
             rid = self._next_rid
             self._next_rid += 1
-            req = Request(rid=rid, x=x, arrival_us=self._now_us(),
-                          priority=priority, mask=mask)
+            arrival = self._now_us()
+            deadline = (None if self.slo is None else
+                        self.slo.deadline_us(int(x.shape[0]), arrival))
+            req = Request(rid=rid, x=x, arrival_us=arrival,
+                          priority=priority, mask=mask, deadline_us=deadline)
             self.metrics.observe_queue_depth(self._queue.depth)
             if self.tracer.enabled:
                 self.tracer.counter("queue_depth", req.arrival_us,
                                     self._queue.depth)
-            self._queue.put(req)  # QueueFullError propagates to the caller
+            if self.events.enabled:
+                self.events.emit("admit", req.arrival_us, rid=rid,
+                                 seq_len=req.seq_len, tenant=req.client,
+                                 deadline_us=deadline)
+            try:
+                self._queue.put(req)
+            except Exception:  # QueueFullError propagates to the caller
+                if self.events.enabled:
+                    self.events.emit("reject", req.arrival_us, rid=rid,
+                                     seq_len=req.seq_len, tenant=req.client,
+                                     deadline_us=deadline, slo_met=(
+                                         False if deadline is not None
+                                         else None),
+                                     detail="queue_full")
+                raise
+            if self.events.enabled:
+                self.events.emit("enqueue", req.arrival_us, rid=rid,
+                                 seq_len=req.seq_len)
             self._futures[rid] = fut
             self._work.notify()
         return fut
@@ -174,6 +207,14 @@ class AsyncServer:
                 if self.tracer.enabled:
                     trace_batch(self.tracer, batch, worker.engine.name,
                                 w_idx, start, finish, results)
+                if self.events.enabled:
+                    self.events.emit("batch_formed", start,
+                                     batch_id=batch.batch_id,
+                                     bucket=batch.bucket, size=batch.size)
+                    self.events.emit("dispatch", start,
+                                     batch_id=batch.batch_id,
+                                     bucket=batch.bucket, size=batch.size,
+                                     replica=w_idx)
             for req, res in zip(batch.requests, results):
                 resp = Response(
                     rid=req.rid, status=ResponseStatus.OK,
@@ -181,10 +222,18 @@ class AsyncServer:
                     finish_us=finish, service_us=service_us,
                     batch_id=batch.batch_id, batch_size=batch.size,
                     bucket=batch.bucket, seq_len=req.seq_len,
-                    client=req.client, output=res.output,
+                    client=req.client, replica=w_idx,
+                    deadline_us=req.deadline_us, output=res.output,
                 )
                 with self._work:
                     fut = self._futures.pop(req.rid, None)
                     self.metrics.observe_response(resp)
+                    if self.events.enabled:
+                        self.events.emit(
+                            "complete", finish, rid=req.rid,
+                            batch_id=batch.batch_id, bucket=batch.bucket,
+                            seq_len=req.seq_len, tenant=req.client,
+                            replica=w_idx, deadline_us=req.deadline_us,
+                            slo_met=resp.slo_met)
                 if fut is not None:
                     fut.set_result(resp)

@@ -192,6 +192,32 @@ def test_et301_wall_clock(tmp_path):
     assert rules == ["ET301"]
 
 
+def test_et301_formatting_clock_reads(tmp_path):
+    # Conversion/formatting calls that default to "now" or local clock
+    # state leak wall time into artifacts exactly like time.time().
+    rules, _ = lint_snippet(tmp_path, """
+        import datetime
+        import time
+
+        def stamps():
+            return (time.localtime(), time.strftime("%H:%M"),
+                    datetime.datetime.fromtimestamp(0))
+    """)
+    assert rules == ["ET301", "ET301", "ET301"]
+
+
+def test_et301_virtual_clock_is_clean(tmp_path):
+    # The obs idiom: timestamps flow in as arguments (driver virtual
+    # time), never read from a clock — the flight recorder's byte-identity
+    # contract.
+    rules, _ = lint_snippet(tmp_path, """
+        def emit(log, ts_us):
+            log.append((ts_us, "admit"))
+            return sorted(log)
+    """)
+    assert rules == []
+
+
 def test_et301_scope_excludes_cold_paths():
     # repro.cli is outside the hot-path scope; repro.obs is inside.
     from repro.analysis.determinism import in_hot_path

@@ -14,17 +14,28 @@ import pytest
 from repro.config import small_config
 from repro.gpu import KernelCost
 from repro.obs import (
+    GATED_METRICS,
+    NULL_EVENT_LOG,
     NULL_TRACER,
+    Event,
+    EventLog,
     NullTracer,
+    SloPolicy,
+    SloTracker,
     Span,
     Tracer,
     WindowedMetrics,
+    attribute,
+    check_regressions,
     chrome_trace,
     chrome_trace_json,
     engine_spans,
     prometheus_text,
     render_span_tree,
+    report_json,
+    write_events,
 )
+from repro.obs.history import append_history, load_history
 from repro.runtime import EncoderWeights, TensorRTLikeEngine
 from repro.serving import (
     AsyncServer,
@@ -33,8 +44,10 @@ from repro.serving import (
     Response,
     ResponseStatus,
     make_policy,
+    make_slo_policy,
     run_loadgen,
 )
+from repro.serving.loadgen import build_engine, build_payloads
 
 _TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
 
@@ -380,3 +393,428 @@ class TestServerAndCLI:
         assert any(e.get("cat") == "kernel" for e in doc["traceEvents"])
         assert "repro_throughput_seq_s" in prom.read_text()
         assert "trace written" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder (ISSUE 7 tentpole)
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_and_canonical_sort(self):
+        log = EventLog()
+        log.emit("complete", 10.0, rid=1, batch_id=0)
+        log.emit("admit", 5.0, rid=1)
+        log.emit("enqueue", 5.0, rid=1)
+        kinds = [e.kind for e in log.sorted_events()]
+        assert kinds == ["admit", "enqueue", "complete"]  # ts, then rank
+
+    def test_unknown_kind_rejected_at_emit_and_construction(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("nonsense", 0.0)
+        with pytest.raises(ValueError, match="unknown event kind"):
+            Event(ts_us=0.0, kind="nonsense")
+
+    def test_jsonl_omits_none_fields_and_ends_with_newline(self):
+        log = EventLog()
+        log.emit("admit", 1.0, rid=0, seq_len=32)
+        text = log.to_jsonl()
+        assert text.endswith("\n")
+        (line,) = text.splitlines()
+        obj = json.loads(line)
+        assert obj == {"ts_us": 1.0, "kind": "admit", "rid": 0,
+                       "seq_len": 32}
+
+    def test_lifecycle_bookkeeping(self):
+        log = EventLog()
+        log.emit("admit", 1.0, rid=0)
+        log.emit("admit", 2.0, rid=1)
+        log.emit("complete", 3.0, rid=0)
+        assert log.rids() == [0, 1]
+        assert log.unterminated() == [1]
+        assert log.counts() == {"admit": 2, "complete": 1}
+        assert log.lifecycle(0) == ["admit", "complete"]
+
+    def test_extend_folds_in_materialized_events(self):
+        log = EventLog()
+        log.extend([Event(ts_us=1.0, kind="exec", batch_id=3, replica=1)])
+        (e,) = log.sorted_events()
+        assert (e.kind, e.batch_id, e.replica) == ("exec", 3, 1)
+
+    def test_null_log_records_nothing(self):
+        assert not NULL_EVENT_LOG.enabled
+        NULL_EVENT_LOG.emit("admit", 0.0, rid=0)
+        NULL_EVENT_LOG.extend([Event(ts_us=0.0, kind="admit")])
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.sorted_events() == []
+        assert NULL_EVENT_LOG.to_jsonl() == ""
+
+
+class TestFlightRecorder:
+    def _events_for(self, **kw) -> EventLog:
+        events = EventLog()
+        run_loadgen(_small_spec(**kw), events=events)
+        return events
+
+    def test_same_seed_byte_identical_jsonl(self):
+        a = self._events_for().to_jsonl()
+        b = self._events_for().to_jsonl()
+        assert a == b and a  # byte-identical, non-empty
+
+    def test_every_admitted_rid_reaches_one_terminal_event(self):
+        events = self._events_for()
+        assert events.rids() == list(range(30))
+        assert events.unterminated() == []
+        counts = events.counts()
+        assert counts["admit"] == 30
+        assert counts.get("complete", 0) + counts.get("reject", 0) == 30
+
+    def test_lifecycle_invariant_across_worker_counts(self):
+        # Worker count changes placement and finish times, never a
+        # request's lifecycle: same admitted rids, same per-rid event
+        # kinds, same terminal kind (the cross-worker log invariant the
+        # canonical sort is designed around).
+        logs = {w: self._events_for(workers=w) for w in (1, 2, 4)}
+        rids = {w: log.rids() for w, log in logs.items()}
+        assert rids[1] == rids[2] == rids[4]
+        for rid in rids[1]:
+            cycles = {w: log.lifecycle(rid) for w, log in logs.items()}
+            assert cycles[1] == cycles[2] == cycles[4]
+
+    def test_rejections_emit_reject_events(self):
+        events = self._events_for(rate_per_s=200_000.0, num_requests=40,
+                                  max_depth=4)
+        counts = events.counts()
+        assert counts.get("reject", 0) > 0
+        rejects = [e for e in events.sorted_events() if e.kind == "reject"]
+        assert all(e.detail == "queue_full" for e in rejects)
+        assert events.unterminated() == []
+
+    def test_written_log_passes_checker(self, tmp_path):
+        checker = _load_checker()
+        path = tmp_path / "events.jsonl"
+        write_events(str(path), self._events_for())
+        errors: list[str] = []
+        checker.check_events(str(path), errors)
+        assert errors == []
+
+    def test_checker_flags_broken_logs(self, tmp_path):
+        checker = _load_checker()
+        cases = {
+            "unknown_kind.jsonl":
+                '{"kind":"warp","ts_us":1.0}\n',
+            "unknown_field.jsonl":
+                '{"kind":"admit","ts_us":1.0,"rid":0,"vibe":"ok"}\n',
+            "out_of_order.jsonl":
+                '{"kind":"admit","rid":0,"ts_us":2.0}\n'
+                '{"kind":"admit","rid":1,"ts_us":1.0}\n',
+            "unterminated.jsonl":
+                '{"kind":"admit","rid":0,"ts_us":1.0}\n',
+            "double_terminal.jsonl":
+                '{"kind":"admit","rid":0,"ts_us":1.0}\n'
+                '{"kind":"complete","rid":0,"ts_us":2.0}\n'
+                '{"kind":"complete","rid":0,"ts_us":3.0}\n',
+        }
+        for name, text in cases.items():
+            path = tmp_path / name
+            path.write_text(text, encoding="utf-8")
+            errors: list[str] = []
+            checker.check_events(str(path), errors)
+            assert errors, f"checker missed {name}"
+
+    def test_recorder_never_changes_the_report(self):
+        plain = run_loadgen(_small_spec()).report
+        recorded = run_loadgen(_small_spec(), events=EventLog()).report
+        assert plain == recorded
+
+
+# ---------------------------------------------------------------------------
+# SLO layer (ISSUE 7)
+# ---------------------------------------------------------------------------
+
+
+class TestSloPolicy:
+    def _policy(self):
+        return make_policy("fine32", crossover=224, max_seq_len=64)
+
+    def test_per_bucket_budgets_price_the_upper_edge(self):
+        pol = self._policy()
+        slo = SloPolicy.from_cost_model(pol, lambda s: 10.0 * s, scale=2.0)
+        assert slo.budgets_us == tuple(2.0 * 10.0 * e for e in pol.edges)
+        assert slo.budget_us(1) == slo.budgets_us[pol.bucket_of(1)]
+        assert slo.deadline_us(1, 100.0) == 100.0 + slo.budget_us(1)
+
+    def test_fixed_budget_overrides_buckets(self):
+        slo = SloPolicy.from_cost_model(self._policy(), lambda s: 10.0 * s,
+                                        fixed_us=5_000.0)
+        assert slo.budget_us(1) == slo.budget_us(64) == 5_000.0
+
+    def test_validation(self):
+        pol = self._policy()
+        with pytest.raises(ValueError, match="one budget per bucket"):
+            SloPolicy(policy=pol, budgets_us=(1.0,) * 99)
+        with pytest.raises(ValueError, match="positive"):
+            SloPolicy(policy=pol,
+                      budgets_us=(0.0,) * pol.num_buckets)
+        with pytest.raises(ValueError, match="scale"):
+            SloPolicy.from_cost_model(pol, lambda s: s, scale=0.0)
+
+    def test_tracker_groups_and_misses(self):
+        t = SloTracker()
+        mk = lambda met, bucket, client, replica: Response(  # noqa: E731
+            rid=0, status=ResponseStatus.OK, arrival_us=0.0,
+            finish_us=1.0 if met else 3.0, bucket=bucket, client=client,
+            replica=replica, deadline_us=2.0)
+        assert t.observe(mk(True, 0, 0, 1)) is True
+        assert t.observe(mk(False, 1, 0, -1)) is False
+        no_slo = Response(rid=2, status=ResponseStatus.OK,
+                          arrival_us=0.0, finish_us=9.0)
+        assert t.observe(no_slo) is None
+        assert (t.total, t.met) == (2, 1)
+        assert t.attainment == 0.5
+        assert t.attainment_by("bucket") == {0: 1.0, 1: 0.0}
+        assert t.attainment_by("tenant") == {0: 0.5}
+        assert t.attainment_by("replica") == {1: 1.0}  # -1 not grouped
+
+
+class TestSloInLoadgen:
+    def test_generous_budget_attains_everything(self):
+        res = run_loadgen(_small_spec(slo_us=1e9))
+        m = res.metrics
+        assert m.slo.total == 30 and m.slo.attainment == 1.0
+        assert m.goodput_seq_s == pytest.approx(m.throughput_seq_s)
+        snap = m.snapshot()
+        assert snap["slo_attainment"] == 1.0
+        assert snap["slo_total"] == 30.0
+
+    def test_impossible_budget_misses_everything(self):
+        m = run_loadgen(_small_spec(slo_us=1e-3)).metrics
+        assert m.slo.total == 30 and m.slo.attainment == 0.0
+        assert m.goodput_seq_s == 0.0
+
+    def test_rejections_count_as_misses(self):
+        m = run_loadgen(_small_spec(rate_per_s=200_000.0, num_requests=40,
+                                    max_depth=4, slo_us=1e9)).metrics
+        assert m.rejected > 0
+        assert m.slo.total == 40  # served + shed all carried deadlines
+        assert m.slo.met == m.completed  # generous budget: misses = sheds
+
+    def test_no_slo_keeps_schema_and_zeroes(self):
+        m = run_loadgen(_small_spec()).metrics
+        snap = m.snapshot()
+        assert snap["slo_total"] == 0.0
+        assert snap["slo_attainment"] == 0.0
+        assert m.goodput_seq_s == 0.0
+
+    def test_auto_budgets_come_from_cost_model(self):
+        spec = _small_spec(slo_us=0.0, slo_scale=3.0)
+        res = run_loadgen(spec)
+        engine = build_engine(spec)
+        assert res.slo is not None and res.slo.fixed_us is None
+        expect = tuple(3.0 * engine.latency_us(seq_len=e)
+                       for e in res.policy.edges)
+        assert res.slo.budgets_us == pytest.approx(expect)
+
+    def test_make_slo_policy_none_without_budget(self):
+        spec = _small_spec()
+        engine = build_engine(spec)
+        pol = make_policy("fine32", crossover=224, max_seq_len=64)
+        assert make_slo_policy(spec, engine, pol) is None
+
+    def test_prometheus_slo_series(self):
+        m = run_loadgen(_small_spec(slo_us=1e9)).metrics
+        text = prometheus_text(m)
+        assert "repro_slo_attainment 1" in text
+        assert 'repro_slo_attainment_by_bucket{bucket="0"} 1' in text
+        assert "repro_goodput_seq_s " in text
+        assert "repro_window_slo_attainment 1" in text
+        # schema is stable without deadlines, just zero-valued
+        plain = prometheus_text(run_loadgen(_small_spec()).metrics)
+        assert "repro_slo_attainment 0" in plain
+
+
+# ---------------------------------------------------------------------------
+# Roofline attribution (ISSUE 7)
+# ---------------------------------------------------------------------------
+
+
+class TestAttribution:
+    def _timeline(self, seed: int = 0):
+        spec = _small_spec()
+        engine = build_engine(spec)
+        payloads = build_payloads(spec)
+        return engine.run(payloads[48]).timeline
+
+    def test_regions_reconcile_with_time_by_region(self):
+        tl = self._timeline()
+        report = attribute(tl)
+        by_region = tl.time_by_region()
+        assert {r["key"] for r in report["regions"]} == set(by_region)
+        for row in report["regions"]:
+            assert row["time_us"] == pytest.approx(by_region[row["key"]],
+                                                   abs=1e-5)
+
+    def test_kernel_classes_reconcile_with_time_by_tag(self):
+        tl = self._timeline()
+        report = attribute(tl)
+        by_tag = tl.time_by_tag()
+        assert {r["key"] for r in report["kernel_classes"]} == set(by_tag)
+        for row in report["kernel_classes"]:
+            assert row["time_us"] == pytest.approx(by_tag[row["key"]],
+                                                   abs=1e-5)
+
+    def test_shares_partition_the_run(self):
+        report = attribute(self._timeline())
+        for section in ("kernel_classes", "regions"):
+            rows = report[section]
+            assert sum(r["time_share"] for r in rows) == \
+                pytest.approx(1.0, abs=1e-3)
+            assert sum(r["launches"] for r in rows) == \
+                report["totals"]["num_kernels"]
+            for r in rows:
+                assert 0.0 <= r["sm_efficiency"] <= 1.0
+                assert 0.0 <= r["bw_utilization"] <= 1.0
+
+    def test_report_is_seed_deterministic(self):
+        assert report_json(self._timeline()) == report_json(self._timeline())
+
+    def test_cli_profile_writes_stable_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "profile.json"
+        argv = ["profile", "--model", "small", "--seq-len", "48",
+                "--profile-out", str(out)]
+        assert main(argv) == 0
+        first = out.read_text()
+        assert main(argv) == 0
+        assert out.read_text() == first
+        report = json.loads(first)
+        assert report["version"] == 1
+        assert report["device"]["name"] == "V100S"
+        assert "report written" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Perf history gating (ISSUE 7)
+# ---------------------------------------------------------------------------
+
+
+class TestHistory:
+    BASE = {"loadgen": {"throughput_seq_s": 1000.0,
+                        "p99_latency_us": 2000.0,
+                        "slo_attainment": 0.9}}
+
+    def test_identical_reports_pass(self):
+        assert check_regressions(self.BASE, self.BASE) == []
+
+    def test_each_gate_fires_past_tolerance(self):
+        for path, direction, tol in GATED_METRICS:
+            key = path.split(".", 1)[1]
+            bad = json.loads(json.dumps(self.BASE))
+            factor = (1 - 2 * tol) if direction == "higher" else (1 + 2 * tol)
+            bad["loadgen"][key] *= factor
+            failures = check_regressions(self.BASE, bad)
+            assert [f.metric for f in failures] == [path]
+            assert "want" in str(failures[0])
+
+    def test_within_tolerance_passes(self):
+        near = json.loads(json.dumps(self.BASE))
+        near["loadgen"]["throughput_seq_s"] *= 0.99  # inside 2%
+        assert check_regressions(self.BASE, near) == []
+
+    def test_metric_lost_from_current_fails(self):
+        bad = json.loads(json.dumps(self.BASE))
+        del bad["loadgen"]["slo_attainment"]
+        failures = check_regressions(self.BASE, bad)
+        assert [f.metric for f in failures] == ["loadgen.slo_attainment"]
+
+    def test_metric_absent_from_baseline_is_skipped(self):
+        old = {"loadgen": {"throughput_seq_s": 1000.0}}
+        assert check_regressions(old, self.BASE) == []
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), self.BASE, label="a")
+        append_history(str(path), self.BASE, label="b")
+        entries = load_history(str(path))
+        assert [e["label"] for e in entries] == ["a", "b"]
+        assert entries[0]["metrics"]["loadgen.throughput_seq_s"] == 1000.0
+        assert entries[0]["report"] == self.BASE
+
+    def test_bench_history_tool_selftest(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_history", _TOOLS / "bench_history.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps(self.BASE), encoding="utf-8")
+        assert mod.main(["selftest", "--baseline", str(report)]) == 0
+        degraded = tmp_path / "bad.json"
+        degraded.write_text(json.dumps(mod._degrade(self.BASE)),
+                            encoding="utf-8")
+        assert mod.main(["check", "--baseline", str(report),
+                         "--current", str(degraded)]) == 1
+        assert mod.main(["check", "--baseline", str(report),
+                         "--current", str(report)]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Windowed metrics edge cases (ISSUE 7 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestWindowedEdgeCases:
+    def test_single_sample_percentiles_collapse(self):
+        w = WindowedMetrics()
+        w.observe_request(10.0, latency_us=123.0, queue_us=7.0)
+        snap = w.snapshot()
+        assert snap["window_p50_latency_us"] == 123.0
+        assert snap["window_p95_latency_us"] == 123.0
+        assert snap["window_p99_latency_us"] == 123.0
+        assert snap["window_count"] == 1.0
+        assert w.ewma_throughput_seq_s == 0.0  # one completion: no rate yet
+
+    def test_ewma_decays_after_idle_gap(self):
+        w = WindowedMetrics(ewma_alpha=0.5)
+        for i in range(1, 6):  # steady 1 req / 1000 us = 1000 seq/s
+            w.observe_request(i * 1_000.0, latency_us=10.0, queue_us=0.0)
+        steady = w.ewma_throughput_seq_s
+        assert steady == pytest.approx(1000.0, rel=0.01)
+        # a 1 s idle gap contributes an instantaneous rate of 1 seq/s
+        w.observe_request(5_000.0 + 1e6, latency_us=10.0, queue_us=0.0)
+        assert w.ewma_throughput_seq_s == \
+            pytest.approx(0.5 * steady + 0.5 * 1.0)
+
+    def test_slo_window_prunes_like_latency(self):
+        w = WindowedMetrics(window_us=1_000.0)
+        w.observe_request(0.0, 1.0, 0.0, slo_met=False)
+        w.observe_request(500.0, 1.0, 0.0, slo_met=True)
+        assert w.window_slo_attainment == 0.5
+        w.observe_request(2_000.0, 1.0, 0.0, slo_met=True)
+        assert w.window_slo_attainment == 1.0  # the miss aged out
+        assert w.snapshot()["window_slo_attainment"] == 1.0
+
+    def test_slo_free_requests_leave_attainment_zero(self):
+        w = WindowedMetrics()
+        w.observe_request(1.0, 1.0, 0.0)  # slo_met=None not recorded
+        assert w.window_slo_attainment == 0.0
+
+    def test_batch_histograms_stable_across_worker_counts(self):
+        # At a wait-bound operating point batch composition is decided by
+        # arrivals, not worker availability, so the per-bucket histograms
+        # are identical for any worker count.
+        hists = {}
+        for workers in (1, 2, 4):
+            m = run_loadgen(_small_spec(workers=workers)).metrics
+            hists[workers] = {b: dict(c)
+                              for b, c in m.window.batch_hist.items()}
+            for bucket in m.window.batch_hist:
+                rows = m.window.hist_cumulative(bucket)
+                assert rows[-1][0] == "+Inf"
+                counts = [c for _, c in rows]
+                assert counts == sorted(counts)  # cumulative: monotone
+                assert rows[-1][1] == m.window.batch_count[bucket]
+        assert hists[1] == hists[2] == hists[4]

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Maintain and gate the serving-bench perf history.
+
+``benchmarks/bench_serving.py --json`` measures one point; this tool
+turns points into a trajectory and a CI gate:
+
+append
+    Append one labeled report snapshot to ``BENCH_history.jsonl``::
+
+        python tools/bench_history.py append --report BENCH_serving.json \
+            --label "$GITHUB_SHA"
+
+check
+    Compare a freshly generated report against the committed baseline
+    under the deterministic gates (:data:`repro.obs.history.GATED_METRICS`
+    — loadgen throughput, p99, SLO attainment); exit 1 on regression::
+
+        python tools/bench_history.py check --baseline BENCH_serving.json \
+            --current /tmp/BENCH_new.json
+
+selftest
+    Prove the gate fires: synthesize a degraded copy of the baseline
+    (throughput −20%, p99 +20%, attainment −20%) and fail (exit 3) if
+    ``check`` does NOT reject it, or if it rejects the baseline against
+    itself. CI runs this so a silently disabled gate is itself a failure.
+
+Exit codes: 0 ok, 1 regression detected (check), 2 usage,
+3 selftest found the gate broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.history import (  # noqa: E402
+    GATED_METRICS,
+    append_history,
+    check_regressions,
+    load_history,
+    lookup,
+)
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_SELFTEST = 3
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_report(path: Path) -> dict:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    report = _load_report(args.report)
+    entry = append_history(str(args.history), report, args.label)
+    n = len(load_history(str(args.history)))
+    print(f"appended {args.label!r} to {args.history} ({n} entries): "
+          f"{entry['metrics']}")
+    return EXIT_OK
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    baseline = _load_report(args.baseline)
+    current = _load_report(args.current)
+    failures = check_regressions(baseline, current)
+    for path, _, _ in GATED_METRICS:
+        base, cur = lookup(baseline, path), lookup(current, path)
+        print(f"{path}: baseline={base} current={cur}")
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"OK: no regression against {args.baseline} "
+          f"({len(GATED_METRICS)} gated metrics)")
+    return EXIT_OK
+
+
+def _degrade(report: dict) -> dict:
+    """A copy of ``report`` pushed past every gate's tolerance."""
+    bad = copy.deepcopy(report)
+    loadgen = bad.setdefault("loadgen", {})
+    for path, direction, _ in GATED_METRICS:
+        key = path.split(".", 1)[1]
+        value = loadgen.get(key)
+        if not isinstance(value, (int, float)) or value == 0:
+            value = 1.0
+        loadgen[key] = value * (0.8 if direction == "higher" else 1.2)
+    return bad
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    baseline = _load_report(args.baseline)
+    if check_regressions(baseline, baseline):
+        print("SELFTEST FAIL: baseline regressed against itself",
+              file=sys.stderr)
+        return EXIT_SELFTEST
+    failures = check_regressions(baseline, _degrade(baseline))
+    if len(failures) != len(GATED_METRICS):
+        print(f"SELFTEST FAIL: degraded report tripped only "
+              f"{len(failures)}/{len(GATED_METRICS)} gates: "
+              f"{[f.metric for f in failures]}", file=sys.stderr)
+        return EXIT_SELFTEST
+    print(f"OK: gate fires on an injected regression "
+          f"({len(failures)}/{len(GATED_METRICS)} gates tripped) and "
+          "passes the baseline against itself")
+    return EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_history.py",
+        description="Append bench_serving reports to BENCH_history.jsonl "
+                    "and gate CI on regressions in the deterministic "
+                    "loadgen metrics.",
+        epilog="Exit codes: 0 ok, 1 regression, 2 usage, "
+               "3 selftest found the gate broken.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ap = sub.add_parser("append", help="append one labeled snapshot")
+    ap.add_argument("--report", type=Path,
+                    default=REPO_ROOT / "BENCH_serving.json",
+                    help="bench_serving --json report to snapshot")
+    ap.add_argument("--history", type=Path,
+                    default=REPO_ROOT / "BENCH_history.jsonl",
+                    help="JSONL history file to append to")
+    ap.add_argument("--label", required=True,
+                    help="caller-supplied label (git SHA, CI run id)")
+    ap.set_defaults(fn=cmd_append)
+
+    cp = sub.add_parser("check", help="gate a report against the baseline")
+    cp.add_argument("--baseline", type=Path,
+                    default=REPO_ROOT / "BENCH_serving.json",
+                    help="committed baseline report")
+    cp.add_argument("--current", type=Path, required=True,
+                    help="freshly generated report to gate")
+    cp.set_defaults(fn=cmd_check)
+
+    sp = sub.add_parser("selftest",
+                        help="prove the gate fires on an injected "
+                             "regression")
+    sp.add_argument("--baseline", type=Path,
+                    default=REPO_ROOT / "BENCH_serving.json",
+                    help="report to degrade and re-check")
+    sp.set_defaults(fn=cmd_selftest)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/check_trace.py trace.json metrics.prom
+    python tools/check_trace.py trace.json metrics.prom [events.jsonl]
 
 Checks (the CI trace-smoke step runs this against a ``loadgen`` run):
 
@@ -18,15 +18,21 @@ Checks (the CI trace-smoke step runs this against a ``loadgen`` run):
   ``achieved_gbs``);
 - counter tracks exist for queue depth and achieved GB/s;
 - the metrics file parses as Prometheus text exposition (0.0.4) and
-  contains every required series.
+  contains every required series;
+- the (optional) flight-recorder event log parses as JSONL, every
+  object's keys are known schema fields, every kind is a known kind,
+  lines are in canonical virtual-time order (globally sorted, per-rid
+  nondecreasing timestamps), and every admitted rid reaches exactly one
+  terminal event (complete / reject / quota_reject).
 
 Exit codes identify which contract broke (CI log triage):
 
-- ``0`` — both artifacts pass every check;
+- ``0`` — every artifact passes every check;
 - ``2`` — usage error (argparse);
 - ``3`` — the Chrome trace failed structural validation;
 - ``4`` — the Prometheus exposition failed validation;
-- ``5`` — both artifacts failed.
+- ``5`` — more than one artifact failed;
+- ``6`` — the event log failed validation.
 """
 
 from __future__ import annotations
@@ -35,11 +41,24 @@ import argparse
 import json
 import re
 import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.events import (  # noqa: E402
+    EVENT_FIELDS,
+    EVENT_KINDS,
+    TERMINAL_KINDS,
+    Event,
+)
 
 EXIT_OK = 0
 EXIT_TRACE = 3
 EXIT_METRICS = 4
 EXIT_BOTH = 5
+EXIT_EVENTS = 6
 
 REQUIRED_KERNEL_ARGS = ("gld_transactions", "gst_transactions",
                         "sm_efficiency", "achieved_gbs")
@@ -162,6 +181,94 @@ def check_metrics(path: str, errors: list[str]) -> None:
     print(f"metrics: {len(names)} series validated")
 
 
+def check_events(path: str, errors: list[str]) -> None:
+    """Schema + lifecycle validation of one flight-recorder JSONL log."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        errors.append(f"events: cannot read {path}: {e}")
+        return
+    known_fields = set(EVENT_FIELDS)
+    events: list[dict] = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            errors.append(f"events: blank line {lineno} (canonical JSONL "
+                          "has no blank lines)")
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"events: line {lineno} is not JSON: {e}")
+            return
+        if not isinstance(obj, dict):
+            errors.append(f"events: line {lineno} is not an object")
+            return
+        unknown = set(obj) - known_fields
+        if unknown:
+            errors.append(f"events: line {lineno} has unknown fields "
+                          f"{sorted(unknown)}")
+        if "ts_us" not in obj or "kind" not in obj:
+            errors.append(f"events: line {lineno} lacks ts_us/kind")
+            return
+        if obj["kind"] not in EVENT_KINDS:
+            errors.append(f"events: line {lineno} has unknown kind "
+                          f"{obj['kind']!r}")
+            return
+        events.append(obj)
+    if not events:
+        errors.append("events: no events")
+        return
+
+    # Canonical order: the file must be globally sorted by the schema's
+    # virtual-time key, which implies per-rid nondecreasing timestamps.
+    def key(obj: dict) -> tuple:
+        return Event(ts_us=obj["ts_us"], kind=obj["kind"],
+                     rid=obj.get("rid"),
+                     batch_id=obj.get("batch_id")).sort_key()
+
+    keys = [key(obj) for obj in events]
+    for i in range(1, len(keys)):
+        if keys[i] < keys[i - 1]:
+            errors.append(f"events: line {i + 1} out of canonical order "
+                          f"({keys[i]} after {keys[i - 1]})")
+            break
+    last_ts: dict[int, float] = {}
+    for lineno, obj in enumerate(events, 1):
+        rid = obj.get("rid")
+        if rid is None:
+            continue
+        if obj["ts_us"] < last_ts.get(rid, float("-inf")):
+            errors.append(f"events: line {lineno} rid {rid} timestamp "
+                          "went backwards")
+            break
+        last_ts[rid] = obj["ts_us"]
+
+    # Lifecycle: every admitted rid reaches exactly one terminal event.
+    admitted = {obj["rid"] for obj in events
+                if obj["kind"] == "admit" and "rid" in obj}
+    terminals: dict[int, int] = {}
+    for obj in events:
+        if obj["kind"] in TERMINAL_KINDS and "rid" in obj:
+            terminals[obj["rid"]] = terminals.get(obj["rid"], 0) + 1
+    unterminated = sorted(admitted - set(terminals))
+    if unterminated:
+        errors.append(f"events: admitted rids never terminated: "
+                      f"{unterminated[:10]}"
+                      + (" ..." if len(unterminated) > 10 else ""))
+    multi = sorted(r for r, n in terminals.items() if n > 1)
+    if multi:
+        errors.append(f"events: rids with multiple terminal events: "
+                      f"{multi[:10]}")
+    unadmitted = sorted(set(terminals) - admitted)
+    if unadmitted:
+        errors.append(f"events: terminal events for never-admitted rids: "
+                      f"{unadmitted[:10]}")
+    kinds = sorted({obj["kind"] for obj in events})
+    print(f"events: {len(events)} events, {len(admitted)} admitted rids, "
+          f"kinds: {kinds}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python tools/check_trace.py",
@@ -169,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Prometheus text-exposition file produced by "
                     "'python -m repro loadgen/serve'.",
         epilog="Exit codes: 0 ok, 2 usage, 3 trace invalid, "
-               "4 metrics invalid, 5 both invalid.",
+               "4 metrics invalid, 5 several invalid, 6 events invalid.",
     )
     parser.add_argument(
         "trace",
@@ -179,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics",
         help="Prometheus 0.0.4 text exposition (from --metrics-out); "
              "checked line-by-line and for required series")
+    parser.add_argument(
+        "events", nargs="?", default=None,
+        help="flight-recorder JSONL event log (from --events-out); "
+             "checked for schema, canonical ordering, and terminal "
+             "reachability of every admitted rid")
     return parser
 
 
@@ -186,17 +298,23 @@ def main(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     trace_errors: list[str] = []
     metrics_errors: list[str] = []
+    events_errors: list[str] = []
     check_trace(args.trace, trace_errors)
     check_metrics(args.metrics, metrics_errors)
-    for err in trace_errors + metrics_errors:
+    if args.events is not None:
+        check_events(args.events, events_errors)
+    for err in trace_errors + metrics_errors + events_errors:
         print(f"FAIL: {err}", file=sys.stderr)
-    if trace_errors and metrics_errors:
+    failed = [bool(trace_errors), bool(metrics_errors), bool(events_errors)]
+    if sum(failed) > 1:
         return EXIT_BOTH
     if trace_errors:
         return EXIT_TRACE
     if metrics_errors:
         return EXIT_METRICS
-    print("OK: trace and metrics pass all checks")
+    if events_errors:
+        return EXIT_EVENTS
+    print("OK: all artifacts pass every check")
     return EXIT_OK
 
 
