@@ -1,7 +1,9 @@
 """Command-line front end: ``python -m repro.analysis [paths...]``.
 
-Exit codes: 0 — clean; 1 — non-baselined findings (or parse errors);
-2 — usage error (bad path, unknown rule, invalid baseline file).
+Exit codes: 0 — clean; 1 — non-baselined findings (or parse errors, or
+unused suppressions under ``--strict-suppressions``, or a failed
+``--selftest``); 2 — usage error (bad path, unknown rule, invalid
+baseline file).
 """
 
 from __future__ import annotations
@@ -12,7 +14,8 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.findings import RULES, Finding
+from repro.analysis.cache import FindingsCache
+from repro.analysis.findings import RULES, Finding, Severity
 from repro.analysis.runner import findings_with_lines, run_analysis
 
 EXIT_CLEAN = 0
@@ -24,16 +27,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="etlint: static analysis of the E.T. reproduction's "
-                    "kernel-launch, FP16-safety, determinism, and "
-                    "thread-safety contracts.",
+                    "kernel-launch, FP16-safety, determinism, thread-, "
+                    "process-, deadlock-, and event-protocol contracts.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "github", "json"), default="text",
+        "--format", choices=("text", "github", "json", "sarif"),
+        default="text",
         help="finding output format; 'github' emits workflow-command "
-             "annotations that overlay PR diffs")
+             "annotations that overlay PR diffs, 'sarif' a SARIF 2.1.0 "
+             "log for code-scanning upload")
     parser.add_argument(
         "--baseline", metavar="FILE", default=None,
         help=f"baseline file of intentional exceptions (default: "
@@ -51,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print every rule with its invariant and exit")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the .etlint-cache findings cache")
+    parser.add_argument(
+        "--strict-suppressions", action="store_true",
+        help="fail (exit 1) when any ET001 unused-suppression warning "
+             "is reported")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="verify the deep passes trip on synthetic known-bad "
+             "fixtures (deadlock + shm leak), then exit")
     return parser
 
 
@@ -84,6 +100,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return EXIT_CLEAN
+
+    if args.selftest:
+        from repro.analysis.selftest import run_selftest
+
+        failures = run_selftest()
+        for failure in failures:
+            print(f"selftest FAILED: {failure}", file=sys.stderr)
+        if not failures:
+            print("etlint selftest: synthetic deadlock and shm-leak "
+                  "fixtures both detected", file=sys.stderr)
+        return EXIT_FINDINGS if failures else EXIT_CLEAN
 
     paths = [Path(p) for p in args.paths]
     for path in paths:
@@ -125,19 +152,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_USAGE
 
+    cache = None if args.no_cache else FindingsCache(root)
     report = run_analysis(paths, root, baseline=baseline,
-                          rule_filter=rule_filter)
+                          rule_filter=rule_filter, cache=cache)
     for err in report.parse_errors:
         print(f"error: cannot parse {err}", file=sys.stderr)
 
     if args.format == "json":
         print(_json_payload(report.findings))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_json
+
+        print(sarif_json(report.findings))
     else:
         for finding in report.findings:
             print(finding.format_github() if args.format == "github"
                   else finding.format_text())
 
-    if args.format != "json":
+    if args.format not in ("json", "sarif"):
         suppressed = report.suppressed_inline + report.suppressed_baseline
         summary = (f"etlint: {len(report.findings)} finding"
                    f"{'' if len(report.findings) == 1 else 's'} across "
@@ -145,9 +177,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if suppressed:
             summary += (f" ({report.suppressed_inline} inline-suppressed, "
                         f"{report.suppressed_baseline} baselined)")
+        if report.from_cache:
+            summary += f" [{report.from_cache} from cache]"
         print(summary, file=sys.stderr)
 
-    if report.findings or report.parse_errors:
+    errors = [f for f in report.findings if f.severity is not Severity.WARNING]
+    warnings_fail = args.strict_suppressions and report.unused_suppressions
+    if errors or warnings_fail or report.parse_errors:
         return EXIT_FINDINGS
     return EXIT_CLEAN
 

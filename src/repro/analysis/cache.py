@@ -1,0 +1,117 @@
+"""Content-addressed findings cache (``.etlint-cache/``).
+
+Re-running etlint on an unchanged tree should cost one hash pass, not a
+full re-analysis. Each analyzed file gets a cache entry keyed by the
+sha256 of its **content** plus the digest of the **whole analyzed tree**
+(:func:`repro.analysis.runner.project_digest`): the v2 passes are
+interprocedural, so a change anywhere can add or remove findings in a
+file that did not itself change. Editing any file therefore invalidates
+every entry — the cache is a whole-tree memo, not a per-file one, which
+is the strongest guarantee a sound interprocedural cache can offer.
+
+Entries are JSON (rule id, line, col, message — severity and hint are
+re-derived from the rule registry on load, so a rule-text tweak never
+resurrects stale wording). ``CACHE_VERSION`` is baked into every key;
+bump it when pass semantics change. The directory is disposable and
+gitignored; ``--no-cache`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import RULES, Finding, make_finding
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import SourceFile
+
+CACHE_DIR_NAME = ".etlint-cache"
+#: bump when pass semantics change (invalidates every entry)
+CACHE_VERSION = 2
+#: keep the directory bounded; oldest entries beyond this are pruned
+MAX_ENTRIES = 512
+
+
+class FindingsCache:
+    """Per-file findings memo under ``<root>/.etlint-cache/``."""
+
+    def __init__(self, root: Path) -> None:
+        self.dir = root / CACHE_DIR_NAME
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, sf: "SourceFile", tree_digest: str) -> str:
+        h = hashlib.sha256()
+        h.update(f"v{CACHE_VERSION}\n".encode())
+        h.update(sf.display.encode("utf-8"))
+        h.update(b"\n")
+        h.update(sf.sha.encode("utf-8"))
+        h.update(b"\n")
+        h.update(tree_digest.encode("utf-8"))
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def get(self, sf: "SourceFile", tree_digest: str) -> list[Finding] | None:
+        """Cached findings for ``sf`` in this exact tree, or ``None``."""
+        path = self._path(self._key(sf, tree_digest))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        findings: list[Finding] = []
+        for entry in payload.get("findings", []):
+            rule = entry.get("rule")
+            if rule not in RULES:
+                self.misses += 1
+                return None  # rule retired since caching: recompute
+            findings.append(make_finding(
+                rule, sf.display, int(entry["line"]), int(entry["col"]),
+                str(entry["message"])))
+        self.hits += 1
+        return findings
+
+    def put(self, sf: "SourceFile", tree_digest: str,
+            findings: list[Finding]) -> None:
+        """Record ``sf``'s raw (pre-suppression) findings."""
+        payload = {
+            "version": CACHE_VERSION,
+            "file": sf.display,
+            "sha256": sf.sha,
+            "tree": tree_digest,
+            "findings": [
+                {"rule": f.rule_id, "line": f.line, "col": f.col,
+                 "message": f.message}
+                for f in findings
+            ],
+        }
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            path = self._path(self._key(sf, tree_digest))
+            path.write_text(json.dumps(payload, indent=1) + "\n",
+                            encoding="utf-8")
+        except OSError:
+            return  # a read-only checkout must not break analysis
+        self._prune()
+
+    def _prune(self) -> None:
+        try:
+            entries = sorted(self.dir.glob("*.json"),
+                             key=lambda p: p.stat().st_mtime)
+        except OSError:
+            return
+        for stale in entries[:-MAX_ENTRIES] if len(entries) > MAX_ENTRIES \
+                else []:
+            try:
+                stale.unlink()
+            except OSError:
+                pass

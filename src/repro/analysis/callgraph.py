@@ -1,0 +1,356 @@
+"""Project-wide symbol table and call graph for the analysis substrate.
+
+etlint v1 was a per-function AST walk: every fact a pass used had to be
+syntactically present at the call site. The cross-process invariants the
+serving/pool layers grew (lock ordering across collaborating classes,
+shared-memory lifecycles that span helpers, event-protocol closure) are
+*interprocedural*, so this module builds the two shared structures every
+v2 pass consumes:
+
+- :class:`SymbolTable` — every function, class, method, per-class lock
+  attributes (with ``Condition(self._lock)`` unified into one lock
+  group), collaborator attribute types from ``__init__`` construction,
+  module-level locks, and per-module import aliases;
+- :class:`CallGraph` — resolved call edges between scanned functions
+  (``self.m()``, ``self.attr.m()`` through the attribute's constructed
+  class, bare names through imports, ``var.m()`` through a local
+  single-constructor assignment).
+
+Resolution is deliberately *under*-approximate: an edge exists only when
+the callee is provably a scanned function, so passes built on the graph
+report no speculative findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.resolve import dotted_callee
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import SourceFile
+
+#: Constructors whose result makes an attribute (or module global) a lock.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "Lock", "RLock", "Condition",
+})
+
+#: Lock factories that produce *re-entrant* primitives (safe to re-acquire).
+REENTRANT_FACTORIES = frozenset({"threading.RLock", "RLock"})
+
+FuncNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X``, else ``None``."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """Everything the passes need to know about one scanned class."""
+
+    name: str
+    module: str
+    display: str
+    node: ast.ClassDef
+    methods: dict[str, FuncNode] = field(default_factory=dict)
+    #: every lock-ish attribute name
+    lock_attrs: set[str] = field(default_factory=set)
+    #: lock attr -> canonical group representative (Condition-over-lock
+    #: attributes share their underlying lock's group)
+    lock_group: dict[str, str] = field(default_factory=dict)
+    #: canonical lock attr -> factory kind ("Lock"/"RLock"/"Condition")
+    lock_kind: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> class name it was constructed from
+    attr_classes: dict[str, str] = field(default_factory=dict)
+
+    def canonical_lock(self, attr: str) -> str | None:
+        """Group representative for a lock attribute, or ``None``."""
+        return self.lock_group.get(attr)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One scanned function or method."""
+
+    qualname: str  # "module:func" or "module:Class.method"
+    module: str
+    display: str
+    cls: str | None
+    name: str
+    node: FuncNode
+
+    @property
+    def params(self) -> list[str]:
+        """Positional parameter names (``self`` stripped for methods)."""
+        args = [a.arg for a in self.node.args.posonlyargs]
+        args += [a.arg for a in self.node.args.args]
+        if self.cls is not None and args and args[0] in ("self", "cls"):
+            args = args[1:]
+        return args
+
+
+def _classify_class(cls: ast.ClassDef, module: str,
+                    display: str) -> ClassInfo:
+    info = ClassInfo(name=cls.name, module=module, display=display, node=cls)
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = stmt
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = dotted_callee(value)
+        if ctor is None:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if ctor in LOCK_FACTORIES:
+                info.lock_attrs.add(attr)
+                info.lock_kind[attr] = ctor.rsplit(".", 1)[-1]
+                # Condition(self._lock) shares the wrapped lock: union the
+                # groups so "holding _not_full" == "holding _lock".
+                wrapped = None
+                if value.args:
+                    wrapped = _self_attr(value.args[0])
+                info.lock_group[attr] = wrapped if wrapped is not None \
+                    else attr
+            elif "." not in ctor:
+                info.attr_classes[attr] = ctor
+    # Collapse group chains (A -> B -> B) and default unknown wraps to self.
+    for attr in list(info.lock_group):
+        root = info.lock_group[attr]
+        seen = {attr}
+        while root in info.lock_group and info.lock_group[root] != root \
+                and root not in seen:
+            seen.add(root)
+            root = info.lock_group[root]
+        info.lock_group[attr] = root
+        info.lock_attrs.add(root)
+        info.lock_kind.setdefault(root, info.lock_kind.get(attr, "Lock"))
+    return info
+
+
+@dataclass
+class SymbolTable:
+    """Cross-file symbol index shared by the v2 passes."""
+
+    #: class name -> info (class names are unique across the repo)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: "module:qualpath" -> info
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module -> local name -> dotted import target
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: module -> names of module-level lock globals
+    module_locks: dict[str, set[str]] = field(default_factory=dict)
+    #: module -> module-level ``NAME = ClassName(...)`` instance globals
+    instances: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def method_qual(self, cls: str, method: str) -> str | None:
+        """Qualname of ``cls.method`` when both are scanned."""
+        info = self.classes.get(cls)
+        if info is None or method not in info.methods:
+            return None
+        return f"{info.module}:{cls}.{method}"
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def build_symbols(files: Iterable["SourceFile"]) -> SymbolTable:
+    """Index every class, function, import, and module-level lock."""
+    table = SymbolTable()
+    for sf in files:
+        table.imports[sf.module] = _import_aliases(sf.tree)
+        locks: set[str] = set()
+        instances: dict[str, str] = {}
+        for stmt in sf.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{sf.module}:{stmt.name}"
+                table.functions[qual] = FunctionInfo(
+                    qualname=qual, module=sf.module, display=sf.display,
+                    cls=None, name=stmt.name, node=stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                info = _classify_class(stmt, sf.module, sf.display)
+                table.classes[stmt.name] = info
+                for mname, mnode in info.methods.items():
+                    qual = f"{sf.module}:{stmt.name}.{mname}"
+                    table.functions[qual] = FunctionInfo(
+                        qualname=qual, module=sf.module, display=sf.display,
+                        cls=stmt.name, name=mname, node=mnode)
+            elif isinstance(stmt, ast.Assign) \
+                    and isinstance(stmt.value, ast.Call):
+                ctor = dotted_callee(stmt.value)
+                if ctor in LOCK_FACTORIES:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            locks.add(target.id)
+                elif ctor is not None and "." not in ctor:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            instances[target.id] = ctor
+        if locks:
+            table.module_locks[sf.module] = locks
+        if instances:
+            table.instances[sf.module] = instances
+    return table
+
+
+def local_constructions(func: FuncNode,
+                        table: SymbolTable) -> dict[str, str]:
+    """``{var: ClassName}`` for locals bound to one scanned constructor."""
+    out: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) \
+                or not isinstance(node.value, ast.Call):
+            continue
+        func_expr = node.value.func
+        if isinstance(func_expr, ast.Name) and func_expr.id in table.classes:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = func_expr.id
+    return out
+
+
+def resolve_call(call: ast.Call, module: str, cls: ClassInfo | None,
+                 table: SymbolTable,
+                 local_types: dict[str, str] | None = None) -> str | None:
+    """Qualname of the scanned function a call provably targets, or None."""
+    func = call.func
+    local_types = local_types or {}
+    if isinstance(func, ast.Name):
+        # Bare name: same-module function, or an imported scanned one.
+        qual = f"{module}:{func.id}"
+        if qual in table.functions:
+            return qual
+        target = table.imports.get(module, {}).get(func.id)
+        if target and "." in target:
+            mod, _, name = target.rpartition(".")
+            qual = f"{mod}:{name}"
+            if qual in table.functions:
+                return qual
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    method = func.attr
+    if isinstance(base, ast.Name):
+        if base.id == "self" and cls is not None:
+            qual = table.method_qual(cls.name, method)
+            if qual is not None:
+                return qual
+            return None
+        owner = local_types.get(base.id)
+        if owner is not None:
+            return table.method_qual(owner, method)
+        # Class-level call on a scanned class (classmethod/staticmethod).
+        if base.id in table.classes:
+            return table.method_qual(base.id, method)
+        # Module-level instance global of this module.
+        owner = table.instances.get(module, {}).get(base.id)
+        if owner is not None:
+            return table.method_qual(owner, method)
+        # Module alias: `from repro import x` / `import repro.x as y`.
+        target = table.imports.get(module, {}).get(base.id)
+        if target is not None:
+            qual = f"{target}:{method}"
+            if qual in table.functions:
+                return qual
+            src_mod, _, obj = target.rpartition(".")
+            if obj in table.classes and table.classes[obj].module == src_mod:
+                return table.method_qual(obj, method)
+            owner = table.instances.get(src_mod, {}).get(obj)
+            if owner is not None:
+                return table.method_qual(owner, method)
+        return None
+    # self.<attr>.method() through the attribute's constructed class.
+    attr = _self_attr(base)
+    if attr is not None and cls is not None:
+        owner = cls.attr_classes.get(attr)
+        if owner is not None:
+            return table.method_qual(owner, method)
+    return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+class CallGraph:
+    """Resolved call edges between scanned functions."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, list[CallSite]] = {}
+        for qual, info in table.functions.items():
+            cls = table.classes.get(info.cls) if info.cls else None
+            local_types = local_constructions(info.node, table)
+            sites: list[CallSite] = []
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolve_call(node, info.module, cls, table,
+                                      local_types)
+                if callee is not None and callee != qual:
+                    site = CallSite(caller=qual, callee=callee, node=node)
+                    sites.append(site)
+                    self.callers.setdefault(callee, []).append(site)
+            self.edges[qual] = sites
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        return self.edges.get(qualname, [])
+
+    def call_sites_of(self, qualname: str) -> list[CallSite]:
+        """Every resolved site that calls ``qualname``."""
+        return self.callers.get(qualname, [])
+
+    def reachable(self, roots: Iterable[str], limit: int = 500) -> set[str]:
+        """Functions reachable from ``roots`` through resolved edges."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.edges]
+        while stack and len(seen) < limit:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for site in self.edges.get(qual, []):
+                if site.callee not in seen:
+                    stack.append(site.callee)
+        return seen
+
+
+def build_callgraph(table: SymbolTable) -> CallGraph:
+    """Build the project call graph from the symbol table."""
+    return CallGraph(table)

@@ -1,0 +1,335 @@
+"""Constant and alias propagation for the analysis substrate.
+
+:mod:`repro.analysis.resolve` folds expressions over *module-level*
+constants only, which is why etlint v1 demanded literals at the checked
+call site. This module adds the two missing levels:
+
+- **intraprocedural**: :func:`function_env` interprets a function body in
+  statement order, binding every local whose right-hand side folds;
+  branches keep only agreeing bindings and loops kill what they assign,
+  so a binding is only ever a value the local *must* hold at that point;
+- **one interprocedural level**: :class:`SummaryTable` gives each scanned
+  function a summary — its foldable return expression and the statically
+  checkable call sites its body contains — so a caller can fold
+  ``helper(256)`` (return-value summaries) and a checker can re-evaluate
+  a helper's body under a caller's constant arguments (forwarded-site
+  summaries). Summaries never recurse: folding a callee's body resolves
+  nested calls by plain constant folding only, which keeps the analysis
+  linear and termination trivial.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.callgraph import FuncNode, FunctionInfo, SymbolTable
+from repro.analysis.resolve import ConstEnv, fold
+
+#: Called once per interpreted statement with the env *before* it runs.
+Observer = Callable[[ast.stmt, Mapping[str, float]], None]
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """Every plain local name a statement (sub)tree assigns."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                names.update(_target_names(target))
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            names.update(_target_names(sub.target))
+        elif isinstance(sub, (ast.For, ast.comprehension)):
+            names.update(_target_names(sub.target))
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            names.update(_target_names(sub.optional_vars))
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out.update(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()
+
+
+class Folder:
+    """Constant folding that can also resolve calls to summarized helpers."""
+
+    def __init__(self, summaries: "SummaryTable | None" = None) -> None:
+        self.summaries = summaries
+
+    def fold(self, node: ast.expr, env: Mapping[str, float]) -> float | None:
+        """:func:`repro.analysis.resolve.fold` plus one call level."""
+        value = fold(node, env)
+        if value is not None:
+            return value
+        if isinstance(node, ast.Call) and self.summaries is not None:
+            return self.summaries.return_value(node, env, self)
+        if isinstance(node, ast.BinOp):
+            # Retry binops whose operands need the call-aware folder.
+            left = self.fold(node.left, env)
+            right = self.fold(node.right, env)
+            if left is None or right is None:
+                return None
+            rebuilt = ast.BinOp(
+                left=ast.Constant(value=left), op=node.op,
+                right=ast.Constant(value=right))
+            return fold(ast.copy_location(rebuilt, node), {})
+        return None
+
+    def fold_int(self, node: ast.expr,
+                 env: Mapping[str, float]) -> int | None:
+        value = self.fold(node, env)
+        if value is None or value != int(value):
+            return None
+        return int(value)
+
+
+def _interpret_block(stmts: list[ast.stmt], env: ConstEnv,
+                     folder: Folder,
+                     observer: Observer | None = None) -> ConstEnv:
+    """Interpret statements in order, updating ``env`` conservatively."""
+    for stmt in stmts:
+        if observer is not None:
+            observer(stmt, env)
+        if isinstance(stmt, ast.Assign):
+            value = folder.fold(stmt.value, env)
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    if isinstance(target, ast.Name) and value is not None:
+                        env[name] = value
+                    else:
+                        env.pop(name, None)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            names = _target_names(stmt.target)
+            value = folder.fold(stmt.value, env)
+            for name in names:
+                if isinstance(stmt.target, ast.Name) and value is not None:
+                    env[name] = value
+                else:
+                    env.pop(name, None)
+        elif isinstance(stmt, ast.AugAssign):
+            for name in _target_names(stmt.target):
+                current = env.get(name)
+                folded = folder.fold(stmt.value, env)
+                if current is not None and folded is not None \
+                        and isinstance(stmt.target, ast.Name):
+                    rebuilt = ast.BinOp(left=ast.Constant(value=current),
+                                        op=stmt.op,
+                                        right=ast.Constant(value=folded))
+                    result = fold(ast.copy_location(rebuilt, stmt), {})
+                    if result is not None:
+                        env[name] = result
+                        continue
+                env.pop(name, None)
+        elif isinstance(stmt, ast.If):
+            then_env = _interpret_block(stmt.body, dict(env), folder,
+                                        observer)
+            else_env = _interpret_block(stmt.orelse, dict(env), folder,
+                                        observer)
+            for name in _assigned_names(stmt):
+                if then_env.get(name) is not None \
+                        and then_env.get(name) == else_env.get(name):
+                    env[name] = then_env[name]
+                else:
+                    env.pop(name, None)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for name in _assigned_names(stmt):
+                env.pop(name, None)
+            # Interpret the body once (post-kill env, result discarded)
+            # so observers see every statement with sound bindings.
+            _interpret_block(list(stmt.body), dict(env), folder, observer)
+            _interpret_block(list(stmt.orelse), dict(env), folder, observer)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        env.pop(name, None)
+            _interpret_block(stmt.body, env, folder, observer)
+        elif isinstance(stmt, ast.Try):
+            # Handlers may observe any prefix of the body: keep only
+            # bindings the body cannot invalidate (assigned nowhere).
+            body_env = _interpret_block(stmt.body, dict(env), folder,
+                                        observer)
+            killed = _assigned_names(stmt)
+            for name in killed:
+                env.pop(name, None)
+            for handler in stmt.handlers:
+                _interpret_block(list(handler.body), dict(env), folder,
+                                 observer)
+            _interpret_block(list(stmt.orelse), dict(body_env), folder,
+                             observer)
+            _interpret_block(list(stmt.finalbody), dict(env), folder,
+                             observer)
+            for name, value in body_env.items():
+                if name not in killed:
+                    env[name] = value
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            continue
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                               ast.Continue)):
+            break
+    return env
+
+
+def function_env(func: FuncNode, base: Mapping[str, float],
+                 params: Mapping[str, float] | None = None,
+                 summaries: "SummaryTable | None" = None,
+                 observer: Observer | None = None) -> ConstEnv:
+    """Constant environment at the end of a function body.
+
+    ``base`` is the module environment; ``params`` binds (a subset of)
+    the function's parameters to known values, which is how a caller's
+    constant arguments flow one level into a helper. ``observer`` is
+    invoked per interpreted statement with the env in force before it —
+    the hook checkers use to fold call sites mid-body.
+    """
+    env: ConstEnv = dict(base)
+    defaults = _param_defaults(func, base)
+    env.update(defaults)
+    if params:
+        env.update(params)
+    folder = Folder(summaries)
+    return _interpret_block(list(func.body), env, folder, observer)
+
+
+def interpret_block(stmts: Sequence[ast.stmt], base: Mapping[str, float],
+                    summaries: "SummaryTable | None" = None,
+                    observer: Observer | None = None) -> ConstEnv:
+    """Interpret a statement list (module or class body) from ``base``."""
+    return _interpret_block(list(stmts), dict(base), Folder(summaries),
+                            observer)
+
+
+def statement_envs(func: FuncNode, base: Mapping[str, float],
+                   params: Mapping[str, float] | None = None,
+                   summaries: "SummaryTable | None" = None,
+                   ) -> dict[int, ConstEnv]:
+    """``{id(stmt): env-before}`` for every interpreted statement."""
+    snapshots: dict[int, ConstEnv] = {}
+
+    def observe(stmt: ast.stmt, env: Mapping[str, float]) -> None:
+        snapshots.setdefault(id(stmt), dict(env))
+
+    function_env(func, base, params, summaries, observer=observe)
+    return snapshots
+
+
+def _param_defaults(func: FuncNode,
+                    base: Mapping[str, float]) -> ConstEnv:
+    """Foldable default values, bound to their parameter names."""
+    args = func.args
+    out: ConstEnv = {}
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        value = fold(default, base)
+        if value is not None:
+            out[arg.arg] = value
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            value = fold(kw_default, base)
+            if value is not None:
+                out[arg.arg] = value
+    return out
+
+
+@dataclass
+class FunctionSummary:
+    """One function's interprocedural summary."""
+
+    info: FunctionInfo
+    #: the single ``return <expr>`` when the function has exactly one
+    return_expr: ast.expr | None
+
+
+class SummaryTable:
+    """Per-function summaries plus caller-side argument binding."""
+
+    def __init__(self, table: SymbolTable,
+                 module_envs: Mapping[str, Mapping[str, float]]) -> None:
+        self.table = table
+        self.module_envs = module_envs
+        self._summaries: dict[str, FunctionSummary] = {}
+
+    def summary(self, qualname: str) -> FunctionSummary | None:
+        cached = self._summaries.get(qualname)
+        if cached is not None:
+            return cached
+        info = self.table.function(qualname)
+        if info is None:
+            return None
+        returns = [node for node in ast.walk(info.node)
+                   if isinstance(node, ast.Return) and node.value is not None]
+        summary = FunctionSummary(
+            info=info,
+            return_expr=returns[0].value if len(returns) == 1 else None)
+        self._summaries[qualname] = summary
+        return summary
+
+    def bind_args(self, call: ast.Call, info: FunctionInfo,
+                  env: Mapping[str, float],
+                  folder: "Folder | None" = None) -> ConstEnv:
+        """Callee param env from a call's foldable actual arguments."""
+        folder = folder or Folder()
+        params = info.params
+        bound: ConstEnv = {}
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                continue
+            value = folder.fold(arg, env)
+            if value is not None:
+                bound[params[i]] = value
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            value = folder.fold(kw.value, env)
+            if value is not None:
+                bound[kw.arg] = value
+        return bound
+
+    def return_value(self, call: ast.Call, env: Mapping[str, float],
+                     folder: "Folder | None" = None) -> float | None:
+        """Fold a call to a summarized helper's return value (one level)."""
+        qual = self._resolve_simple(call)
+        if qual is None:
+            return None
+        summary = self.summary(qual)
+        if summary is None or summary.return_expr is None:
+            return None
+        info = summary.info
+        callee_base = self.module_envs.get(info.module, {})
+        params = self.bind_args(call, info, env, folder)
+        # One level only: the callee's body folds with plain constants.
+        callee_env = function_env(info.node, callee_base, params,
+                                  summaries=None)
+        return fold(summary.return_expr, callee_env)
+
+    def summary_for_call(self, call: ast.Call) -> FunctionSummary | None:
+        """Summary of the (unambiguous, bare-name) callee, or ``None``."""
+        qual = self._resolve_simple(call)
+        return self.summary(qual) if qual is not None else None
+
+    def _resolve_simple(self, call: ast.Call) -> str | None:
+        """Resolve a bare-name call against every scanned module.
+
+        Caller-module context is not threaded through folding, so a bare
+        callee name resolves only when it is unambiguous project-wide.
+        """
+        if not isinstance(call.func, ast.Name):
+            return None
+        name = call.func.id
+        matches = [qual for qual in self.table.functions
+                   if qual.endswith(f":{name}")]
+        if len(matches) == 1:
+            return matches[0]
+        return None

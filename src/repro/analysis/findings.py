@@ -15,7 +15,14 @@ reference them) and grouped by pass:
 - ``ET4xx`` — thread-safety of the serving layer's shared state,
   :mod:`repro.analysis.thread_safety`;
 - ``ET5xx`` — process-safety of the replica pool's shared-memory
-  plumbing, :mod:`repro.analysis.process_safety`.
+  plumbing, :mod:`repro.analysis.process_safety` (ET501) and the
+  path-sensitive segment lifecycle in
+  :mod:`repro.analysis.shm_lifecycle` (ET502–504);
+- ``ET6xx`` — deadlock freedom of the lock-acquisition order graph,
+  :mod:`repro.analysis.locks`;
+- ``ET7xx`` — flight-recorder event-protocol closure,
+  :mod:`repro.analysis.event_protocol`;
+- ``ET001`` — meta: stale inline suppressions, reported by the runner.
 """
 
 from __future__ import annotations
@@ -214,6 +221,106 @@ _RULE_LIST: tuple[Rule, ...] = (
              "helper there) instead of importing "
              "multiprocessing.shared_memory",
         paper_ref="replica pool process contract (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET502",
+        name="shm-leak-on-path",
+        summary="A shared-memory mapping escapes scope on some path without close()/unlink()",
+        invariant="Every SharedMemory attach must reach a close() (and the "
+                  "owner's unlink()) on every path, including exceptional "
+                  "ones; a leaked mapping keeps the segment alive after the "
+                  "process exits under POSIX semantics.",
+        hint="wrap the op that can raise in try/finally and close() the "
+             "mapping in the finally block",
+        paper_ref="replica pool process contract (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET503",
+        name="shm-use-after-close",
+        summary="Shared-memory mapping used after close() on some path",
+        invariant="Accessing .buf (or re-closing/unlinking through it) after "
+                  "close() dereferences an unmapped view and crashes or "
+                  "corrupts.",
+        hint="restructure so every use dominates the close(); take values "
+             "out of the buffer before closing",
+        paper_ref="replica pool process contract (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET504",
+        name="shm-double-unlink",
+        summary="Shared-memory segment unlink()ed twice on one path",
+        invariant="unlink() removes the segment name; a second unlink() on "
+                  "the same raw mapping raises FileNotFoundError (only "
+                  "SharedWeightStore.unlink is documented idempotent).",
+        hint="unlink once, at the owner, after every attacher closed",
+        paper_ref="replica pool process contract (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET601",
+        name="lock-order-cycle",
+        summary="Cyclic lock-acquisition order across classes",
+        invariant="Any two locks must always be taken in one global order; "
+                  "a cycle in the acquired-while-holding graph is a deadlock "
+                  "waiting for the right thread interleaving.",
+        hint="hoist the inner acquisition out of the outer critical section "
+             "(copy what you need, release, then call), or merge the locks",
+        paper_ref="pool/serving lock discipline (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET602",
+        name="non-reentrant-reacquire",
+        summary="Non-reentrant lock re-acquired while already held",
+        invariant="threading.Lock and Condition self-deadlock when the "
+                  "holding thread acquires them again (only RLock is "
+                  "re-entrant).",
+        hint="split the locked region into a _locked() helper the public "
+             "method calls, or switch the attribute to threading.RLock",
+        paper_ref="pool/serving lock discipline (DESIGN.md §11)",
+    ),
+    Rule(
+        rule_id="ET701",
+        name="event-admit-without-terminal",
+        summary="Class emits admit events but no terminal complete/reject",
+        invariant="check_trace.py requires every admitted rid to reach a "
+                  "terminal event; a component that admits but can never "
+                  "complete/reject leaves open lifecycles in every trace.",
+        hint="emit complete on the success path and reject on the failure "
+             "path (PoolServer re-books via rebook on worker death)",
+        paper_ref="flight-recorder lifecycle closure (DESIGN.md §12)",
+    ),
+    Rule(
+        rule_id="ET702",
+        name="event-admit-open-path",
+        summary="A path emits admit but neither reaches a terminal emit nor hands the request off",
+        invariant="Between admit and the terminal event the request must "
+                  "stay owned: every path out of the admitting function "
+                  "must emit complete/reject or hand the request to the "
+                  "queue/futures machinery that guarantees the terminal.",
+        hint="emit reject before re-raising on the failure path, or enqueue "
+             "the request before the function can exit",
+        paper_ref="flight-recorder lifecycle closure (DESIGN.md §12)",
+    ),
+    Rule(
+        rule_id="ET703",
+        name="worker-death-without-rebook",
+        summary="Worker-death event emitted without re-booking orphaned requests",
+        invariant="The pool's recovery contract: a worker_death emit must be "
+                  "followed by rebook emits for the orphans, or their "
+                  "lifecycles never close.",
+        hint="emit events.rebook(rid, ...) for each orphaned request when "
+             "handling the dead worker",
+        paper_ref="pool worker-death recovery (DESIGN.md §11–12)",
+    ),
+    Rule(
+        rule_id="ET001",
+        name="unused-suppression",
+        summary="Inline '# etlint: disable=...' comment suppresses nothing",
+        invariant="Suppressions document real, reviewed findings; a stale "
+                  "one hides future regressions at that line.",
+        hint="delete the comment (or narrow its rule list) now that the "
+             "finding is gone",
+        paper_ref="etlint suppression hygiene",
+        severity=Severity.WARNING,
     ),
 )
 

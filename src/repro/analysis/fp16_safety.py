@@ -4,16 +4,21 @@ Pure-FP16 ``Q·Kᵀ`` overflows for most entries (Fig. 4) unless the
 ``1/√d_k`` scaling moves *before* the product or the accumulator widens to
 FP32. This pass encodes that invariant at the emulation API's call sites:
 
-- ``fp16_matmul(a, b)`` with a pure-FP16 accumulator must visibly pre-scale
-  its left operand (a ``*``/``/`` expression) — ET201;
+- ``fp16_matmul(a, b)`` with a pure-FP16 accumulator must pre-scale its
+  left operand — ET201;
 - ``attention_scores_overflow(...)`` / ``overflow_heatmap(...)`` with a
   literal ``scale_first=False`` and an FP16 accumulator is the overflow
   regime — ET202 (the overflow *study* itself carries inline suppressions:
   measuring the bad regime is its purpose);
 - ``to_fp16(x @ y)`` casts a raw product with no scaling anywhere — ET203.
 
-Call sites whose accumulate/scale_first arguments are runtime values are
-skipped: the pass only reports what it can prove from the source.
+"Pre-scaled" is flow-sensitive in v2, not just syntactic: a ``*``/``/``
+expression counts, and so does a **local previously assigned** one
+(``qs = q * scale`` … ``fp16_matmul(qs, k)``) — chains of such
+assignments included — and a call to a one-return helper whose returned
+expression is itself pre-scaled. Call sites whose accumulate/scale_first
+arguments are runtime values are skipped: the pass only reports what it
+can prove from the source.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.analysis.findings import Finding, make_finding
 from repro.analysis.resolve import callee_name, keyword_arg
 
 if TYPE_CHECKING:
+    from repro.analysis.dataflow import SummaryTable
     from repro.analysis.runner import AnalysisContext, SourceFile
 
 #: ``scale_first`` / ``accumulate`` positional slots per checked callee.
@@ -53,38 +59,101 @@ def _accumulate_mode(call: ast.Call, callee: str) -> str | None:
     return _literal_str(expr)
 
 
-def _is_prescaled(node: ast.expr) -> bool:
-    """Whether an operand expression visibly applies a scale factor."""
+def _is_prescaled(node: ast.expr, scaled: frozenset[str] = frozenset(),
+                  summaries: "SummaryTable | None" = None) -> bool:
+    """Whether an operand expression provably applies a scale factor."""
     if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div)):
         return True
+    if isinstance(node, ast.Name) and node.id in scaled:
+        return True
     if isinstance(node, ast.Call):  # e.g. np.asarray(q * scale)
-        return any(_is_prescaled(arg) for arg in node.args
-                   if not isinstance(arg, ast.Starred))
+        if any(_is_prescaled(arg, scaled, summaries) for arg in node.args
+               if not isinstance(arg, ast.Starred)):
+            return True
+        if summaries is not None:
+            # One interprocedural level: prescale() helpers whose single
+            # return expression is itself visibly scaled.
+            summary = summaries.summary_for_call(node)
+            if summary is not None and summary.return_expr is not None:
+                callee_scaled = _scaled_locals(summary.info.node)
+                return _is_prescaled(
+                    summary.return_expr,
+                    frozenset(callee_scaled), summaries=None)
     return False
+
+
+def _scope_nodes(scope: ast.AST) -> list[ast.AST]:
+    """Nodes of a scope excluding nested function/class bodies."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _scaled_locals(scope: ast.AST,
+                   summaries: "SummaryTable | None" = None) -> dict[str, int]:
+    """``{name: line}`` for locals bound to pre-scaled expressions.
+
+    Processed in line order so assignment chains (``a = q * s; b = a``)
+    propagate; a name scaled then rebound to something unscaled drops
+    out, keeping the set must-scaled.
+    """
+    assigns = sorted(
+        (n for n in _scope_nodes(scope) if isinstance(n, ast.Assign)
+         and len(n.targets) == 1 and isinstance(n.targets[0], ast.Name)),
+        key=lambda n: n.lineno)
+    scaled: dict[str, int] = {}
+    for assign in assigns:
+        name = assign.targets[0].id  # type: ignore[union-attr]
+        known = frozenset(n for n, line in scaled.items()
+                          if line < assign.lineno)
+        if _is_prescaled(assign.value, known, summaries):
+            scaled[name] = assign.lineno
+        else:
+            scaled.pop(name, None)
+    return scaled
 
 
 def check_fp16_safety(sf: "SourceFile",
                       ctx: "AnalysisContext") -> list[Finding]:
     """Run the FP16-safety checks over one file."""
     findings: list[Finding] = []
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        callee = callee_name(node)
-        if callee == "fp16_matmul":
-            findings.extend(_check_fp16_matmul(sf, node))
-        elif callee in ("attention_scores_overflow", "overflow_heatmap"):
-            findings.extend(_check_scores_call(sf, node, callee))
-        elif callee == "to_fp16":
-            findings.extend(_check_fp16_cast(sf, node))
+    scopes: list[ast.AST] = [sf.tree]
+    scopes.extend(n for n in ast.walk(sf.tree)
+                  if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)))
+    for scope in scopes:
+        scaled_lines = _scaled_locals(scope, ctx.summaries)
+        for node in _scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            # Only names scaled strictly before the use count as scaled.
+            scaled = frozenset(n for n, line in scaled_lines.items()
+                               if line < node.lineno)
+            callee = callee_name(node)
+            if callee == "fp16_matmul":
+                findings.extend(_check_fp16_matmul(sf, ctx, node, scaled))
+            elif callee in ("attention_scores_overflow", "overflow_heatmap"):
+                findings.extend(_check_scores_call(sf, node, callee))
+            elif callee == "to_fp16":
+                findings.extend(_check_fp16_cast(sf, ctx, node, scaled))
     return findings
 
 
-def _check_fp16_matmul(sf: "SourceFile", node: ast.Call) -> list[Finding]:
+def _check_fp16_matmul(sf: "SourceFile", ctx: "AnalysisContext",
+                       node: ast.Call,
+                       scaled: frozenset[str]) -> list[Finding]:
     if _accumulate_mode(node, "fp16_matmul") != "fp16" or not node.args:
         return []
     left = node.args[0]
-    if isinstance(left, ast.Starred) or _is_prescaled(left):
+    if isinstance(left, ast.Starred) \
+            or _is_prescaled(left, scaled, ctx.summaries):
         return []
     return [make_finding(
         "ET201", sf.display, node.lineno, node.col_offset,
@@ -106,13 +175,16 @@ def _check_scores_call(sf: "SourceFile", node: ast.Call,
         f"Fig. 4 overflow regime")]
 
 
-def _check_fp16_cast(sf: "SourceFile", node: ast.Call) -> list[Finding]:
+def _check_fp16_cast(sf: "SourceFile", ctx: "AnalysisContext",
+                     node: ast.Call,
+                     scaled: frozenset[str]) -> list[Finding]:
     if len(node.args) != 1:
         return []
     arg = node.args[0]
     if not (isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.MatMult)):
         return []
-    if _is_prescaled(arg.left) or _is_prescaled(arg.right):
+    if _is_prescaled(arg.left, scaled, ctx.summaries) \
+            or _is_prescaled(arg.right, scaled, ctx.summaries):
         return []
     return [make_finding(
         "ET203", sf.display, node.lineno, node.col_offset,

@@ -3,24 +3,32 @@
 ``KernelCost.validate_launch`` rejects an over-budget shared-memory request
 only when the kernel actually executes; this pass applies the same
 Equation 6 budget at every construction site whose resources are statically
-knowable (literals or module constants), against **every** ``DeviceSpec``
-the repo declares. It also checks the tensor-core geometry contracts that
-the paper's kernel design assumes: the FP16 HMMA reduction dimension moves
-in chunks of 8 (``d_k % 8 == 0``) and the OTF kernel tiles heads in whole
-16-row tensor-core tiles (``tile_rows % 16 == 0``).
+knowable, against **every** ``DeviceSpec`` the repo declares. It also
+checks the tensor-core geometry contracts that the paper's kernel design
+assumes: the FP16 HMMA reduction dimension moves in chunks of 8
+(``d_k % 8 == 0``) and the OTF kernel tiles heads in whole 16-row
+tensor-core tiles (``tile_rows % 16 == 0``).
 
-Call sites whose shapes are runtime values fold to ``None`` and are
-skipped — the runtime check still guards those; the point of the pass is
-that the *statically decidable* sites fail in CI instead of at launch.
+"Statically knowable" is interprocedural in v2: each call site folds
+under the constant environment *at that statement* (local assignment
+chains included, via :func:`repro.analysis.dataflow.function_env`), a
+shape produced by a one-return helper folds through its summary, and a
+helper that *contains* a checked construction is re-analyzed under each
+caller's bound constant arguments — so ``make_cost(seq_len=8192)`` fails
+at the caller even though the helper body alone folds to nothing. Sites
+whose shapes stay runtime values are skipped; the runtime check still
+guards those.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
+from repro.analysis.callgraph import FuncNode, resolve_call
+from repro.analysis.dataflow import Folder, function_env, interpret_block
 from repro.analysis.findings import Finding, make_finding
-from repro.analysis.resolve import callee_name, fold_int, keyword_arg
+from repro.analysis.resolve import ConstEnv, callee_name, keyword_arg
 
 if TYPE_CHECKING:
     from repro.analysis.runner import AnalysisContext, SourceFile
@@ -32,7 +40,7 @@ TC_K_ALIGN = 8
 TC_TILE_EDGE = 16
 
 
-def _budget_findings(sf: "SourceFile", node: ast.Call, smem: int,
+def _budget_findings(display: str, node: ast.Call, smem: int,
                      devices: dict[str, int]) -> list[Finding]:
     """ET101/ET102 for one resolved per-CTA shared-memory request."""
     if not devices or smem <= 0:
@@ -44,11 +52,11 @@ def _budget_findings(sf: "SourceFile", node: ast.Call, smem: int,
                         for name, cap in sorted(over.items()))
     if len(over) == len(devices):
         return [make_finding(
-            "ET101", sf.display, node.lineno, node.col_offset,
+            "ET101", display, node.lineno, node.col_offset,
             f"requests {smem} B shared memory per CTA, which exceeds every "
             f"known device: {listing}")]
     return [make_finding(
-        "ET102", sf.display, node.lineno, node.col_offset,
+        "ET102", display, node.lineno, node.col_offset,
         f"requests {smem} B shared memory per CTA, which exceeds {listing}")]
 
 
@@ -59,38 +67,164 @@ def _otf_smem(seq_len: int, d_k: int, bytes_per_elem: int,
     return tile_rows * d_k * bytes_per_elem + tile_rows * seq_len * score_bytes
 
 
-def check_kernel_contract(sf: "SourceFile",
-                          ctx: "AnalysisContext") -> list[Finding]:
-    """Run the kernel-contract checks over one file."""
+def _own_calls(stmt: ast.stmt) -> list[ast.Call]:
+    """Calls evaluated by this statement itself (not by child statements)."""
+    out: list[ast.Call] = []
+
+    def rec(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                continue
+            if isinstance(child, ast.Call):
+                out.append(child)
+            rec(child)
+
+    rec(stmt)
+    return out
+
+
+def _call_envs(sf_tree: ast.Module, base: ConstEnv,
+               ctx: "AnalysisContext") -> list[tuple[ast.Call, ConstEnv]]:
+    """Every call in the tree paired with its best-known constant env."""
+    envs: dict[int, tuple[ast.Call, ConstEnv]] = {}
+
+    def record(stmt: ast.stmt, env: Mapping[str, float]) -> None:
+        for call in _own_calls(stmt):
+            envs.setdefault(id(call), (call, dict(env)))
+
+    interpret_block(sf_tree.body, base, ctx.summaries, record)
+    for node in ast.walk(sf_tree):
+        if isinstance(node, ast.ClassDef):
+            interpret_block(
+                [s for s in node.body
+                 if not isinstance(s, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))],
+                base, ctx.summaries, record)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function_env(node, base, summaries=ctx.summaries,
+                         observer=record)
+    # Anything the interpreter never reached folds with the module env.
+    for node in ast.walk(sf_tree):
+        if isinstance(node, ast.Call):
+            envs.setdefault(id(node), (node, dict(base)))
+    return sorted(envs.values(),
+                  key=lambda pair: (pair[0].lineno, pair[0].col_offset))
+
+
+def _check_site(display: str, ctx: "AnalysisContext", node: ast.Call,
+                env: ConstEnv, folder: Folder) -> list[Finding]:
+    """The v1 per-call checks, folding under a site-specific env."""
+    name = callee_name(node)
+    if name == "KernelCost":
+        return _check_kernel_cost(display, ctx, node, env, folder)
+    if name == "otf_smem_bytes":
+        return _check_otf_smem_site(display, ctx, node, env, folder)
+    tile_expr = keyword_arg(node, "tile_rows")
+    if tile_expr is not None:
+        return _check_tile_rows(display, node, tile_expr, env, folder)
+    return []
+
+
+def _has_checked_calls(func: FuncNode) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if callee_name(node) in ("KernelCost", "otf_smem_bytes") \
+                    or keyword_arg(node, "tile_rows") is not None:
+                return True
+    return False
+
+
+def _findings_in_func(func_display: str, func: FuncNode, base: ConstEnv,
+                      params: ConstEnv | None,
+                      ctx: "AnalysisContext") -> list[Finding]:
+    """Checked-call findings inside one function under ``base + params``."""
+    folder = Folder(ctx.summaries)
     findings: list[Finding] = []
-    for node in ast.walk(sf.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = callee_name(node)
-        if name == "KernelCost":
-            findings.extend(_check_kernel_cost(sf, ctx, node))
-        elif name == "otf_smem_bytes":
-            findings.extend(_check_otf_smem_site(sf, ctx, node))
-        else:
-            tile_expr = keyword_arg(node, "tile_rows")
-            if tile_expr is not None:
-                findings.extend(_check_tile_rows(sf, node, tile_expr))
+    seen: set[int] = set()
+
+    def record(stmt: ast.stmt, env: Mapping[str, float]) -> None:
+        for call in _own_calls(stmt):
+            if id(call) not in seen:
+                seen.add(id(call))
+                findings.extend(
+                    _check_site(func_display, ctx, call, dict(env), folder))
+
+    function_env(func, base, params, summaries=ctx.summaries,
+                 observer=record)
     return findings
 
 
-def _check_kernel_cost(sf: "SourceFile", ctx: "AnalysisContext",
-                       node: ast.Call) -> list[Finding]:
+def check_kernel_contract(sf: "SourceFile",
+                          ctx: "AnalysisContext") -> list[Finding]:
+    """Run the kernel-contract checks over one file."""
+    folder = Folder(ctx.summaries)
+    findings: list[Finding] = []
+    sites = _call_envs(sf.tree, sf.env, ctx)
+    for call, env in sites:
+        findings.extend(_check_site(sf.display, ctx, call, env, folder))
+    findings.extend(_forwarded_findings(sf, ctx, sites, folder))
+    return findings
+
+
+def _forwarded_findings(
+        sf: "SourceFile", ctx: "AnalysisContext",
+        sites: list[tuple[ast.Call, ConstEnv]],
+        folder: Folder) -> list[Finding]:
+    """Re-check helpers containing checked calls under callers' constants.
+
+    For each resolved call whose callee body contains a ``KernelCost`` /
+    ``otf_smem_bytes`` / ``tile_rows=`` site, bind the caller's foldable
+    arguments and re-run the callee's body under them. Findings that only
+    appear with the bound arguments are this *call site's* fault and are
+    reported here, citing the helper-side line.
+    """
+    out: list[Finding] = []
+    own_baseline: dict[str, set[tuple[str, int, str]]] = {}
+    for call, env in sites:
+        qual = resolve_call(call, sf.module, None, ctx.symbols)
+        if qual is None:
+            continue
+        info = ctx.symbols.function(qual)
+        if info is None or not _has_checked_calls(info.node):
+            continue
+        params = ctx.summaries.bind_args(call, info, env, folder)
+        if not params:
+            continue
+        callee_base = dict(ctx.summaries.module_envs.get(info.module, {}))
+        if qual not in own_baseline:
+            own_baseline[qual] = {
+                (f.rule_id, f.line, f.message)
+                for f in _findings_in_func(info.display, info.node,
+                                           callee_base, None, ctx)}
+        bound = _findings_in_func(info.display, info.node, callee_base,
+                                  params, ctx)
+        argtext = ", ".join(f"{k}={v:g}" for k, v in sorted(params.items()))
+        for found in bound:
+            if (found.rule_id, found.line, found.message) \
+                    in own_baseline[qual]:
+                continue
+            out.append(make_finding(
+                found.rule_id, sf.display, call.lineno, call.col_offset,
+                f"{found.message} [inside {info.name}() at "
+                f"{found.path}:{found.line}, reached with {argtext} "
+                f"bound at this call]"))
+    return out
+
+
+def _check_kernel_cost(display: str, ctx: "AnalysisContext", node: ast.Call,
+                       env: ConstEnv, folder: Folder) -> list[Finding]:
     smem_expr = keyword_arg(node, "smem_per_cta_bytes")
     if smem_expr is None:
         return []
-    smem = fold_int(smem_expr, sf.env)
+    smem = folder.fold_int(smem_expr, env)
     if smem is None:
         return []
-    return _budget_findings(sf, node, smem, ctx.devices)
+    return _budget_findings(display, node, smem, ctx.devices)
 
 
-def _check_otf_smem_site(sf: "SourceFile", ctx: "AnalysisContext",
-                         node: ast.Call) -> list[Finding]:
+def _check_otf_smem_site(display: str, ctx: "AnalysisContext",
+                         node: ast.Call, env: ConstEnv,
+                         folder: Folder) -> list[Finding]:
     """Resolve an ``otf_smem_bytes(...)`` call's tile shape and check it."""
     findings: list[Finding] = []
     seq_expr = keyword_arg(node, "seq_len", 0)
@@ -99,36 +233,37 @@ def _check_otf_smem_site(sf: "SourceFile", ctx: "AnalysisContext",
     mixed_expr = keyword_arg(node, "mixed_precision", 3)
     tile_expr = keyword_arg(node, "tile_rows", 4)
 
-    bpe = 2 if bpe_expr is None else fold_int(bpe_expr, sf.env)
+    bpe = 2 if bpe_expr is None else folder.fold_int(bpe_expr, env)
     mixed = (False if mixed_expr is None
-             else bool(fold_int(mixed_expr, sf.env) or 0))
+             else bool(folder.fold_int(mixed_expr, env) or 0))
     tile_rows = (TC_TILE_EDGE if tile_expr is None
-                 else fold_int(tile_expr, sf.env))
-    d_k = None if dk_expr is None else fold_int(dk_expr, sf.env)
-    seq_len = None if seq_expr is None else fold_int(seq_expr, sf.env)
+                 else folder.fold_int(tile_expr, env))
+    d_k = None if dk_expr is None else folder.fold_int(dk_expr, env)
+    seq_len = None if seq_expr is None else folder.fold_int(seq_expr, env)
 
     if d_k is not None and bpe == 2 and d_k % TC_K_ALIGN != 0:
         findings.append(make_finding(
-            "ET103", sf.display, node.lineno, node.col_offset,
+            "ET103", display, node.lineno, node.col_offset,
             f"d_k={d_k} is not a multiple of {TC_K_ALIGN}; FP16 HMMA "
             f"fragments consume the reduction dimension {TC_K_ALIGN} at a "
             f"time"))
     if tile_expr is not None:
-        findings.extend(_check_tile_rows(sf, node, tile_expr))
+        findings.extend(_check_tile_rows(display, node, tile_expr, env,
+                                         folder))
     if None not in (seq_len, d_k, bpe, tile_rows):
         assert seq_len is not None and d_k is not None  # for the type checker
         assert bpe is not None and tile_rows is not None
         smem = _otf_smem(seq_len, d_k, bpe, mixed, tile_rows)
-        findings.extend(_budget_findings(sf, node, smem, ctx.devices))
+        findings.extend(_budget_findings(display, node, smem, ctx.devices))
     return findings
 
 
-def _check_tile_rows(sf: "SourceFile", node: ast.Call,
-                     tile_expr: ast.expr) -> list[Finding]:
-    tile_rows = fold_int(tile_expr, sf.env)
+def _check_tile_rows(display: str, node: ast.Call, tile_expr: ast.expr,
+                     env: ConstEnv, folder: Folder) -> list[Finding]:
+    tile_rows = folder.fold_int(tile_expr, env)
     if tile_rows is None or tile_rows <= 0 or tile_rows % TC_TILE_EDGE == 0:
         return []
     return [make_finding(
-        "ET104", sf.display, node.lineno, node.col_offset,
+        "ET104", display, node.lineno, node.col_offset,
         f"tile_rows={tile_rows} is not a multiple of the {TC_TILE_EDGE}-row "
         f"tensor-core tile edge")]

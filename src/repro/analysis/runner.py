@@ -1,9 +1,10 @@
-"""Discovery and orchestration for the five `etlint` passes.
+"""Discovery and orchestration for the `etlint` passes.
 
 The runner parses every Python file under the given paths once, builds the
-shared static context (per-module constant environments, the device-spec
-table, the scanned-class lock map), runs each pass over each file, then
-applies inline suppressions and the baseline.
+shared static context — per-module constant environments, the device-spec
+table, the scanned-class lock map, and the v2 substrate (project symbol
+table, call graph, one-level function summaries) — runs each pass over
+each file, then applies inline suppressions and the baseline.
 
 Inline suppression: a line (or the line directly above it) containing
 ``# etlint: disable=ET301`` (comma-separated ids, or ``all``) silences
@@ -11,19 +12,32 @@ those rules for findings anchored on that line. Suppressions should carry
 a reason, e.g.::
 
     self._t0 = time.monotonic()  # etlint: disable=ET301 timing boundary
+
+A suppression that silences nothing is itself reported (ET001, WARNING)
+so stale disables cannot accumulate; ``--strict-suppressions`` promotes
+those warnings to CI failures. When ``rule_filter`` restricts the run to
+a subset of rules, ET001 is skipped — a suppression for an un-run rule
+is not evidence of staleness.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.findings import Finding
+from repro.analysis.callgraph import CallGraph, SymbolTable, build_callgraph, \
+    build_symbols
+from repro.analysis.dataflow import SummaryTable
+from repro.analysis.findings import Finding, make_finding
 from repro.analysis.resolve import ConstEnv, device_specs, module_constants
+
+if TYPE_CHECKING:
+    from repro.analysis.cache import FindingsCache
 
 _DISABLE_RE = re.compile(r"#\s*etlint:\s*disable=([A-Za-z0-9_,]+)")
 
@@ -38,6 +52,7 @@ class SourceFile:
     tree: ast.Module
     lines: list[str]
     env: ConstEnv = field(default_factory=dict)
+    sha: str = ""
 
     def source_line(self, lineno: int) -> str:
         """1-indexed physical line, empty string when out of range."""
@@ -54,6 +69,12 @@ class AnalysisContext:
     modules: dict[str, ast.Module]
     devices: dict[str, int]
     lockless_classes: set[str]
+    symbols: SymbolTable
+    callgraph: CallGraph
+    summaries: SummaryTable
+    #: per-run memo space for project-wide passes (computed once,
+    #: reported per file) — keyed by pass name
+    scratch: dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,6 +86,8 @@ class AnalysisReport:
     suppressed_inline: int
     suppressed_baseline: int
     parse_errors: list[str] = field(default_factory=list)
+    unused_suppressions: int = 0
+    from_cache: int = 0
 
 
 PassFn = Callable[[SourceFile, AnalysisContext], list[Finding]]
@@ -120,8 +143,23 @@ def load_files(paths: Sequence[Path], root: Path,
             module=module_name_for(py),
             tree=tree,
             lines=text.splitlines(),
+            sha=hashlib.sha256(text.encode("utf-8")).hexdigest(),
         ))
     return files
+
+
+def project_digest(files: list[SourceFile]) -> str:
+    """Content digest over the whole analyzed tree.
+
+    Interprocedural passes make every file's findings depend on every
+    other file, so cached per-file results are only valid against the
+    exact tree they were computed in.
+    """
+    h = hashlib.sha256()
+    for sf in sorted(files, key=lambda s: s.display):
+        h.update(sf.display.encode("utf-8"))
+        h.update(sf.sha.encode("utf-8"))
+    return h.hexdigest()
 
 
 def build_context(files: list[SourceFile]) -> AnalysisContext:
@@ -131,29 +169,98 @@ def build_context(files: list[SourceFile]) -> AnalysisContext:
     modules = {sf.module: sf.tree for sf in files}
     for sf in files:
         sf.env = module_constants(sf.tree, modules)
+    symbols = build_symbols(files)
     return AnalysisContext(
         files=files,
         modules=modules,
         devices=device_specs(modules),
         lockless_classes=lockless_class_names([sf.tree for sf in files]),
+        symbols=symbols,
+        callgraph=build_callgraph(symbols),
+        summaries=SummaryTable(symbols, {sf.module: sf.env for sf in files}),
     )
 
 
 def default_passes() -> dict[str, PassFn]:
-    """The five passes, keyed by their rule-family prefix."""
+    """Every pass, keyed by family name."""
     from repro.analysis.determinism import check_determinism
+    from repro.analysis.event_protocol import check_event_protocol
     from repro.analysis.fp16_safety import check_fp16_safety
     from repro.analysis.kernel_contract import check_kernel_contract
+    from repro.analysis.locks import check_lock_order
     from repro.analysis.process_safety import check_process_safety
+    from repro.analysis.shm_lifecycle import check_shm_lifecycle
     from repro.analysis.thread_safety import check_thread_safety
 
     return {
-        "ET1": check_kernel_contract,
-        "ET2": check_fp16_safety,
-        "ET3": check_determinism,
-        "ET4": check_thread_safety,
-        "ET5": check_process_safety,
+        "kernel-contract": check_kernel_contract,    # ET1xx
+        "fp16-safety": check_fp16_safety,            # ET2xx
+        "determinism": check_determinism,            # ET3xx
+        "thread-safety": check_thread_safety,        # ET4xx
+        "process-safety": check_process_safety,      # ET501
+        "shm-lifecycle": check_shm_lifecycle,        # ET502-ET504
+        "lock-order": check_lock_order,              # ET6xx
+        "event-protocol": check_event_protocol,      # ET7xx
     }
+
+
+@dataclass
+class _Suppression:
+    """One ``# etlint: disable=...`` comment in a file."""
+
+    comment_line: int
+    target_line: int
+    tokens: set[str]
+    used: bool = False
+
+
+def _comment_lines(sf: SourceFile) -> set[int]:
+    """1-indexed lines carrying a real COMMENT token.
+
+    Tokenizing (rather than regex-matching raw lines) keeps disable
+    examples inside docstrings from acting as — or being reported as —
+    suppressions.
+    """
+    import io
+    import tokenize
+
+    lines: set[int] = set()
+    reader = io.StringIO("\n".join(sf.lines) + "\n").readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                lines.add(tok.start[0])
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        # Fall back to treating every line as commentable; the file
+        # parsed as AST, so this should not happen in practice.
+        return set(range(1, len(sf.lines) + 1))
+    return lines
+
+
+def _suppression_comments(sf: SourceFile) -> list[_Suppression]:
+    commented = _comment_lines(sf)
+    out: list[_Suppression] = []
+    for i, line in enumerate(sf.lines, start=1):
+        if i not in commented:
+            continue
+        match = _DISABLE_RE.search(line)
+        if not match:
+            continue
+        tokens = {token.strip().upper()
+                  for token in match.group(1).split(",") if token.strip()}
+        target = i + 1 if line.lstrip().startswith("#") else i
+        out.append(_Suppression(comment_line=i, target_line=target,
+                                tokens=tokens))
+    return out
+
+
+def _suppressing_comment(
+        comments: list[_Suppression], finding: Finding) -> _Suppression | None:
+    for comment in comments:
+        if comment.target_line == finding.line and \
+                (finding.rule_id in comment.tokens or "ALL" in comment.tokens):
+            return comment
+    return None
 
 
 def _disabled_rules(sf: SourceFile, lineno: int) -> set[str]:
@@ -163,17 +270,10 @@ def _disabled_rules(sf: SourceFile, lineno: int) -> set[str]:
     applies to the line below it (so a disable never leaks from one
     statement onto the next).
     """
-    previous = sf.source_line(lineno - 1)
-    candidates = [sf.source_line(lineno)]
-    if previous.lstrip().startswith("#"):
-        candidates.append(previous)
     disabled: set[str] = set()
-    for line in candidates:
-        match = _DISABLE_RE.search(line)
-        if match:
-            disabled.update(
-                token.strip().upper()
-                for token in match.group(1).split(",") if token.strip())
+    for comment in _suppression_comments(sf):
+        if comment.target_line == lineno:
+            disabled.update(comment.tokens)
     return disabled
 
 
@@ -182,37 +282,85 @@ def _is_suppressed_inline(sf: SourceFile, finding: Finding) -> bool:
     return bool(disabled) and (finding.rule_id in disabled or "ALL" in disabled)
 
 
+def _raw_findings_for(sf: SourceFile, ctx: AnalysisContext,
+                      passes: dict[str, PassFn]) -> list[Finding]:
+    found: list[Finding] = []
+    for check in passes.values():
+        found.extend(check(sf, ctx))
+    return found
+
+
+def _collect(
+    files: list[SourceFile],
+    ctx: AnalysisContext,
+    rule_filter: Callable[[str], bool] | None,
+    cache: "FindingsCache | None" = None,
+) -> tuple[list[tuple[Finding, str]], int, list[Finding], int]:
+    """Run the passes: (raw survivors, inline-suppressed, ET001, cached)."""
+    passes = default_passes()
+    digest = project_digest(files) if cache is not None else ""
+    raw: list[tuple[Finding, str]] = []
+    inline_suppressed = 0
+    unused: list[Finding] = []
+    from_cache = 0
+    for sf in files:
+        found = cache.get(sf, digest) if cache is not None else None
+        if found is None:
+            found = _raw_findings_for(sf, ctx, passes)
+            if cache is not None:
+                cache.put(sf, digest, found)
+        else:
+            from_cache += 1
+        comments = _suppression_comments(sf)
+        for finding in found:
+            suppressor = _suppressing_comment(comments, finding)
+            if suppressor is not None:
+                suppressor.used = True
+            if rule_filter is not None and not rule_filter(finding.rule_id):
+                continue
+            if suppressor is not None:
+                inline_suppressed += 1
+                continue
+            raw.append((finding, sf.source_line(finding.line)))
+        if rule_filter is None:
+            for comment in comments:
+                if not comment.used:
+                    ids = ",".join(sorted(comment.tokens))
+                    unused.append(make_finding(
+                        "ET001", sf.display, comment.comment_line, 0,
+                        f"unused suppression 'etlint: disable={ids}': no "
+                        f"matching finding is anchored on line "
+                        f"{comment.target_line}"))
+    return raw, inline_suppressed, unused, from_cache
+
+
 def run_analysis(
     paths: Sequence[Path],
     root: Path | None = None,
     baseline: Baseline | None = None,
     rule_filter: Callable[[str], bool] | None = None,
+    cache: "FindingsCache | None" = None,
 ) -> AnalysisReport:
     """Analyze ``paths`` and return the surviving findings.
 
     ``rule_filter`` restricts reporting to matching rule ids (used by
     ``--rules``); inline suppressions and the baseline apply after it.
+    ``cache`` (a :class:`repro.analysis.cache.FindingsCache`) reuses
+    per-file findings when neither the file nor the rest of the tree
+    changed since the cached run.
     """
     root = root or Path.cwd()
     errors: list[str] = []
     files = load_files(paths, root, errors)
     ctx = build_context(files)
-    raw: list[tuple[Finding, str]] = []
-    inline_suppressed = 0
-    for sf in files:
-        for check in default_passes().values():
-            for finding in check(sf, ctx):
-                if rule_filter is not None and not rule_filter(finding.rule_id):
-                    continue
-                if _is_suppressed_inline(sf, finding):
-                    inline_suppressed += 1
-                    continue
-                raw.append((finding, sf.source_line(finding.line)))
+    raw, inline_suppressed, unused, from_cache = _collect(
+        files, ctx, rule_filter, cache)
     baseline_suppressed = 0
     if baseline is not None:
         survivors, baseline_suppressed = baseline.filter(raw)
     else:
         survivors = [finding for finding, _ in raw]
+    survivors.extend(unused)  # ET001 is meta: never baselined
     survivors.sort(key=Finding.sort_key)
     return AnalysisReport(
         findings=survivors,
@@ -220,6 +368,8 @@ def run_analysis(
         suppressed_inline=inline_suppressed,
         suppressed_baseline=baseline_suppressed,
         parse_errors=errors,
+        unused_suppressions=len(unused),
+        from_cache=from_cache,
     )
 
 
@@ -229,17 +379,13 @@ def findings_with_lines(
     """Raw (finding, source line) pairs — what ``--write-baseline`` covers.
 
     Inline suppressions still apply (they are the preferred mechanism and
-    should not leak into a generated baseline).
+    should not leak into a generated baseline); ET001 meta-warnings are
+    excluded (a baseline must never hide a stale suppression).
     """
     root = root or Path.cwd()
     errors: list[str] = []
     files = load_files(paths, root, errors)
     ctx = build_context(files)
-    raw: list[tuple[Finding, str]] = []
-    for sf in files:
-        for check in default_passes().values():
-            for finding in check(sf, ctx):
-                if not _is_suppressed_inline(sf, finding):
-                    raw.append((finding, sf.source_line(finding.line)))
+    raw, _suppressed, _unused, _cached = _collect(files, ctx, None)
     raw.sort(key=lambda pair: pair[0].sort_key())
     return raw

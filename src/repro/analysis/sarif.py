@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 output for code-scanning integration.
+
+``python -m repro.analysis --format=sarif`` emits one run with the full
+rule catalogue in the tool driver (so viewers render invariants and
+hints without the repo checked out) and one result per finding, anchored
+by repo-relative URI. The document targets the published 2.1.0 schema
+(``$schema`` points at the canonical schemastore copy);
+:func:`validate_minimal` structurally checks the invariants that schema
+enforces so tests stay offline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.findings import RULES, Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.invariant},
+        "help": {"text": f"{rule.hint} (traces to: {rule.paper_ref})"},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def sarif_document(findings: list[Finding]) -> dict[str, Any]:
+    """The findings as a single-run SARIF 2.1.0 log object."""
+    rule_ids = sorted(RULES)
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": index[f.rule_id],
+            "level": _LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, f.line),
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "etlint",
+                    "version": "2.0.0",
+                    "rules": [_rule_descriptor(r) for r in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": results,
+        }],
+    }
+
+
+def sarif_json(findings: list[Finding]) -> str:
+    """Serialized SARIF log, stable key order."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=False)
+
+
+def validate_minimal(doc: dict[str, Any]) -> list[str]:
+    """Structural SARIF 2.1.0 checks; returns a list of violations.
+
+    Covers the schema constraints the emitter could plausibly break:
+    required top-level members, run/tool shape, result rule references
+    resolving into the driver's rule array, and 1-based regions.
+    """
+    problems: list[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append("version must be '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            problems.append(f"runs[{ri}].tool.driver.name missing")
+        rules = driver.get("rules", [])
+        ids = [r.get("id") for r in rules]
+        if len(ids) != len(set(ids)):
+            problems.append(f"runs[{ri}] duplicate rule ids")
+        for si, result in enumerate(run.get("results", [])):
+            where = f"runs[{ri}].results[{si}]"
+            if not isinstance(result.get("message", {}).get("text"), str):
+                problems.append(f"{where}.message.text missing")
+            if result.get("level") not in ("error", "warning", "note",
+                                           "none"):
+                problems.append(f"{where}.level invalid")
+            idx = result.get("ruleIndex")
+            if not isinstance(idx, int) or not 0 <= idx < len(rules) \
+                    or ids[idx] != result.get("ruleId"):
+                problems.append(f"{where} ruleIndex/ruleId mismatch")
+            for loc in result.get("locations", []):
+                region = loc.get("physicalLocation", {}).get("region", {})
+                if region.get("startLine", 1) < 1 or \
+                        region.get("startColumn", 1) < 1:
+                    problems.append(f"{where} region must be 1-based")
+    return problems

@@ -1,0 +1,86 @@
+"""Analyzer selftest: prove the deep passes still trip on known-bad code.
+
+A static analyzer's worst failure mode is silent: a refactor makes a
+pass stop matching and CI goes green forever after. ``--selftest``
+guards against that by synthesizing a fixture tree in a temp directory
+containing one certain ET601 deadlock (two classes acquiring each
+other's locks in opposite orders through resolved calls) and one certain
+ET502 leak (a ``SharedMemory`` mapping whose close is skipped on an
+exceptional branch), running the full pipeline over it, and failing
+unless **both** passes report. CI runs this before the real lint so a
+lobotomized analyzer fails the build instead of passing it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+DEADLOCK_FIXTURE = '''\
+"""Synthetic AB/BA lock-order cycle (must trip ET601).
+
+One direction is a nested ``with``; the other goes through a resolved
+call, so the selftest exercises the call graph and the transitive
+acquisition closure, not just the syntactic walker.
+"""
+import threading
+
+JOURNAL_LOCK = threading.Lock()
+LEDGER_LOCK = threading.Lock()
+
+
+def post():
+    with JOURNAL_LOCK:
+        with LEDGER_LOCK:
+            pass
+
+
+def _settle():
+    with JOURNAL_LOCK:
+        pass
+
+
+def reconcile():
+    with LEDGER_LOCK:
+        _settle()
+'''
+
+LEAK_FIXTURE = '''\
+"""Synthetic close-skipped-on-branch shm leak (must trip ET502)."""
+from multiprocessing import shared_memory
+
+
+def peek(name: str) -> int:
+    seg = shared_memory.SharedMemory(name=name)
+    first = seg.buf[0]
+    if first == 0:
+        return -1
+    seg.close()
+    return first
+'''
+
+
+def run_selftest() -> list[str]:
+    """Returns a list of failures (empty when the analyzer is healthy)."""
+    from repro.analysis.runner import run_analysis
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="etlint-selftest-") as tmp:
+        root = Path(tmp)
+        (root / "deadlock_case.py").write_text(DEADLOCK_FIXTURE,
+                                               encoding="utf-8")
+        (root / "leak_case.py").write_text(LEAK_FIXTURE, encoding="utf-8")
+        report = run_analysis([root], root=root)
+        rules = {f.rule_id for f in report.findings}
+        if "ET601" not in rules:
+            failures.append(
+                "ET601 pass failed to report the synthetic Ledger/Journal "
+                "lock-order cycle")
+        if "ET502" not in rules:
+            failures.append(
+                "ET502 pass failed to report the synthetic close-skipped "
+                "SharedMemory leak")
+        if report.parse_errors:
+            failures.extend(f"selftest fixture parse error: {err}"
+                            for err in report.parse_errors)
+    return failures

@@ -254,8 +254,10 @@ class SharedWeightStore:
                 self._shm.unlink()
             else:  # already closed: re-attach briefly just to unlink
                 probe = _attach_untracked(self.manifest.segment)
-                probe.unlink()
-                probe.close()
+                try:
+                    probe.unlink()
+                finally:
+                    probe.close()
         except FileNotFoundError:
             pass  # already gone (double unlink / external cleanup)
         self.close()
