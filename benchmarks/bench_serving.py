@@ -157,9 +157,19 @@ def _summary_spec() -> LoadgenSpec:
 
 
 def _loadgen_summary() -> dict:
-    """One representative packed loadgen run's serving metrics."""
+    """One representative packed loadgen run's serving metrics.
+
+    Runs with the flight recorder on so the report carries the per-stage
+    waterfall totals/shares (``stage_time_us`` / ``stage_shares``) that
+    the perf-history gate uses to name *which stage* regressed.
+    """
+    from repro.obs import EventLog, build_waterfalls, stage_shares, stage_totals
+
     spec = _summary_spec()
-    m = run_loadgen(spec).metrics.snapshot()
+    events = EventLog()
+    m = run_loadgen(spec, events=events).metrics.snapshot()
+    waterfalls = build_waterfalls(events)
+    totals = stage_totals(waterfalls)
     return {
         "engine": spec.engine,
         "model": spec.model,
@@ -178,6 +188,8 @@ def _loadgen_summary() -> dict:
         "slo_met": int(m["slo_met"]),
         "slo_attainment": m["slo_attainment"],
         "goodput_seq_s": m["goodput_seq_s"],
+        "stage_time_us": {k: round(v, 6) for k, v in totals.items()},
+        "stage_shares": stage_shares(waterfalls),
     }
 
 

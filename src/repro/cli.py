@@ -53,7 +53,26 @@ flight recorder's structured lifecycle event log (JSONL, canonical order
 — byte-identical across same-seed reruns; validate with
 ``tools/check_trace.py``). ``profile`` runs one request and emits the
 roofline attribution report (per-region / per-kernel-class time share,
-achieved GB/s vs device peak, SM efficiency).
+achieved GB/s vs device peak, SM efficiency); with ``--events-in`` it
+folds a run's top-K per-request waterfalls into the same artifact.
+
+Explain & trace diff (ISSUE 9)::
+
+    python -m repro loadgen --events-out events.jsonl ...
+    python -m repro explain events.jsonl --top 5 --explain-out explain.json
+    python -m repro explain --rate 2000 --requests 100   # run + explain
+    python -m repro tracediff events_a.jsonl events_b.jsonl \
+        --diff-out diff.json --fail-on-diff
+
+``explain`` reconstructs every completed request's latency waterfall
+(admission / queue-wait splits / dispatch / execution / collection) from
+the flight-recorder log, prints the stage shares, top-K slowest requests
+with per-stage blame, the makespan critical path, and a Little's-law
+consistency check. Without an events file it runs a seeded loadgen
+first. ``tracediff`` aligns two logs by rid/bucket and attributes the
+throughput/p50/p99/SLO deltas to stages, buckets, and replicas — two
+same-seed runs diff to exactly zero (``--fail-on-diff`` exits 1
+otherwise).
 """
 
 from __future__ import annotations
@@ -501,11 +520,14 @@ def cmd_profile(args) -> str:
     Per kernel class and per region: launches, time share, achieved DRAM
     GB/s against the device peak, and SM efficiency — the Fig. 11/12
     questions at serving granularity. ``--profile-out`` writes the full
-    stable-JSON report (a pure function of the seed).
+    stable-JSON report (a pure function of the seed); ``--events-in``
+    folds a serving run's top-K slowest-request waterfalls into the same
+    artifact so roofline and waterfall views reconcile in one place.
     """
     import numpy as np
 
-    from repro.obs import attribute, write_report
+    from repro.obs import attribute, build_waterfalls, read_events, \
+        write_report
     from repro.serving import build_engine
 
     spec = _loadgen_spec(args)
@@ -516,10 +538,13 @@ def cmd_profile(args) -> str:
     x = rng.standard_normal((seq_len, cfg.d_model))
     res = engine.run(x)
 
+    waterfalls = (build_waterfalls(read_events(args.events_in))
+                  if args.events_in else None)
     if args.profile_out:
-        report = write_report(args.profile_out, res.timeline)
+        report = write_report(args.profile_out, res.timeline,
+                              waterfalls, args.top)
     else:
-        report = attribute(res.timeline)
+        report = attribute(res.timeline, waterfalls, args.top)
     tot = report["totals"]
     out = []
     for section in ("kernel_classes", "regions"):
@@ -530,6 +555,8 @@ def cmd_profile(args) -> str:
         out.append(_fmt_table(
             ["key", "launches", "us", "share", "GB/s", "bw util", "sm eff"],
             rows, f"profile — {section.replace('_', ' ')}"))
+    if report["slowest_requests"]:
+        out.append(_slowest_table(report["slowest_requests"]))
     out.append(f"totals: {tot['time_us']} us, {tot['num_kernels']} kernels, "
                f"{tot['achieved_bw_gbs']} GB/s achieved "
                f"({tot['bw_utilization']:.1%} of {report['device']['name']} "
@@ -540,10 +567,143 @@ def cmd_profile(args) -> str:
     return "\n\n".join(out)
 
 
+def _slowest_table(rows: list) -> str:
+    """Render a ``slowest_requests`` section as one table."""
+    from repro.obs import STAGES
+
+    body = [[r["rid"], r["bucket"], r["latency_us"], r["blame"]]
+            + [r["stages_us"][s] for s in STAGES] for r in rows]
+    return _fmt_table(["rid", "bucket", "latency us", "blame"]
+                      + [s for s in STAGES],
+                      body, "slowest requests — per-stage waterfall (us)")
+
+
+def _load_events(path: str):
+    from repro.obs import read_events
+
+    return read_events(path)
+
+
+def cmd_explain(args) -> str:
+    """Waterfall attribution for one run: where did the latency go?
+
+    With an events-JSONL path (from ``--events-out``) it explains that
+    log; without one it runs the seeded loadgen described by the serving
+    flags first. Prints stage totals/shares, the top-K slowest requests
+    with per-stage blame, the makespan critical path, and the
+    Little's-law consistency check; ``--explain-out`` writes the full
+    stable JSON (byte-identical across same-seed runs).
+    """
+    import json
+
+    from repro.obs import STAGES, EventLog, explain_report
+    from repro.serving import run_loadgen
+
+    if args.paths:
+        events = _load_events(args.paths[0])
+        source = args.paths[0]
+    else:
+        events = EventLog()
+        run_loadgen(_loadgen_spec(args), events=events)
+        source = "loadgen (seed {})".format(args.seed)
+    report = explain_report(events, top_k=args.top)
+
+    rows: list[list[object]] = [
+        ["completed / rejected / admitted",
+         "{completed} / {rejected} / {admitted}".format(**report["requests"])],
+        ["makespan (us)", report["makespan_us"]],
+        ["throughput (seq/s)", report["throughput_seq_s"]],
+        ["p50 / p99 latency (us)",
+         f"{report['latency_us']['p50']} / {report['latency_us']['p99']}"],
+    ]
+    if report["slo"]["total"]:
+        rows.append(["slo attainment",
+                     f"{report['slo']['attainment']:.4f} "
+                     f"({report['slo']['met']}/{report['slo']['total']})"])
+    for s in STAGES:
+        rows.append([f"stage {s}",
+                     f"{report['stage_totals_us'][s]:.1f} us "
+                     f"({report['stage_shares'][s]:.1%})"])
+    ll = report["littles_law"]
+    rows.append(["little's law L vs λW",
+                 f"{ll['mean_queue_depth']} vs {ll['product_depth']} "
+                 f"(residual {ll['residual']})"])
+    out = [_fmt_table(["metric", "value"], rows, f"explain — {source}")]
+
+    out.append(_slowest_table(report["slowest_requests"]))
+
+    cp = report["critical_path"]
+    cp_rows = [[link["batch_id"], link["replica"], link["bucket"],
+                link["size"], link["start_us"], link["end_us"],
+                link["edge"]] for link in cp["links"]]
+    out.append(_fmt_table(
+        ["batch", "replica", "bucket", "size", "start us", "end us",
+         "bound by"],
+        cp_rows, f"critical path — {len(cp['links'])} links, "
+                 f"{cp['coverage']:.1%} of the {cp['makespan_us']:.0f} us "
+                 "makespan"))
+    if args.explain_out:
+        with open(args.explain_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, sort_keys=True, indent=2)
+            f.write("\n")
+        out.append(f"[report written to {args.explain_out} — stable JSON, "
+                   "byte-identical across same-seed runs]")
+    return "\n\n".join(out)
+
+
+def cmd_tracediff(args) -> "str | tuple[str, int]":
+    """Differential trace profiling: attribute run B − run A by stage.
+
+    Takes two flight-recorder JSONL logs, aligns them by rid/bucket and
+    reports the per-stage / per-bucket / per-replica deltas behind the
+    headline metric changes. Two same-seed runs diff to exactly zero;
+    ``--fail-on-diff`` turns any nonzero delta into exit code 1 (the CI
+    determinism gate).
+    """
+    import json
+
+    from repro.obs import diff_events, diff_is_empty, render_diff
+
+    if len(args.paths) != 2:
+        raise SystemExit("tracediff needs exactly two events-JSONL paths: "
+                         "python -m repro tracediff A.jsonl B.jsonl")
+    path_a, path_b = args.paths
+    report = diff_events(_load_events(path_a), _load_events(path_b),
+                         label_a=path_a, label_b=path_b, top_k=args.top)
+    out = [_fmt_table(["metric", "A", "B", "delta"], render_diff(report),
+                      f"tracediff — A={path_a} B={path_b}")]
+    req = report["requests"]
+    if diff_is_empty(report):
+        out.append("runs are identical: every stage of every matched "
+                   f"request diffs to zero ({req['matched']} requests)")
+    else:
+        out.append(f"runs differ: {req['changed']}/{req['matched']} matched "
+                   f"requests changed, {len(req['only_in_a'])} only in A, "
+                   f"{len(req['only_in_b'])} only in B; dominant stage: "
+                   f"{report['blame']}")
+        top_rows = [[r["rid"], r["bucket"], r["a_latency_us"],
+                     r["b_latency_us"], r["delta_us"], r["blame"]]
+                    for r in req["top_changed"]]
+        if top_rows:
+            out.append(_fmt_table(
+                ["rid", "bucket", "A us", "B us", "delta us", "blame"],
+                top_rows, "most-changed requests"))
+    if args.diff_out:
+        with open(args.diff_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, sort_keys=True, indent=2)
+            f.write("\n")
+        out.append(f"[report written to {args.diff_out} — stable JSON]")
+    text = "\n\n".join(out)
+    if args.fail_on_diff and not diff_is_empty(report):
+        return text, 1
+    return text
+
+
 LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13")
 ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
-SERVING_CMDS = ("serve", "loadgen", "trace", "profile")
+SERVING_CMDS = ("serve", "loadgen", "trace", "profile", "explain",
+                "tracediff")
 
 
 def cmd_all(args) -> str:
@@ -568,6 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ALL_CMDS) + list(SERVING_CMDS)
                    + ["all", "list"],
                    help="which experiment or serving command to run")
+    p.add_argument("paths", nargs="*", metavar="EVENTS",
+                   help="flight-recorder JSONL logs: one (optional) for "
+                        "'explain', exactly two for 'tracediff'")
     p.add_argument("--model", default="BERT_BASE",
                    choices=["BERT_BASE", "Transformer", "DistilBERT",
                             "small"],
@@ -647,6 +810,27 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE",
                    help="write the 'profile' command's roofline "
                         "attribution report (stable JSON)")
+
+    e = p.add_argument_group("attribution (explain/tracediff/profile)")
+    e.add_argument("--top", type=int, default=5, dest="top",
+                   help="top-K slowest/most-changed requests to show")
+    e.add_argument("--explain-out", default=None, dest="explain_out",
+                   metavar="FILE",
+                   help="write the 'explain' command's waterfall report "
+                        "(stable JSON, byte-identical across same-seed "
+                        "runs)")
+    e.add_argument("--diff-out", default=None, dest="diff_out",
+                   metavar="FILE",
+                   help="write the 'tracediff' command's stage-attribution "
+                        "report (stable JSON)")
+    e.add_argument("--fail-on-diff", action="store_true",
+                   dest="fail_on_diff",
+                   help="tracediff: exit 1 when the two runs are not "
+                        "identical (CI determinism gate)")
+    e.add_argument("--events-in", default=None, dest="events_in",
+                   metavar="FILE",
+                   help="profile: fold this flight-recorder log's top-K "
+                        "request waterfalls into the roofline report")
     return p
 
 
@@ -658,7 +842,11 @@ def main(argv: list[str] | None = None) -> int:
         print("serving:", ", ".join(SERVING_CMDS))
         return 0
     fn = cmd_all if args.experiment == "all" else globals()[f"cmd_{args.experiment}"]
-    print(fn(args))
+    out = fn(args)
+    if isinstance(out, tuple):  # (text, exit_code): tracediff --fail-on-diff
+        print(out[0])
+        return out[1]
+    print(out)
     return 0
 
 

@@ -25,18 +25,33 @@ model's reported numbers are identical with tracing off.
 
 from repro.obs.attribution import attribute, report_json, write_report
 from repro.obs.chrome import chrome_trace, chrome_trace_json, write_chrome_trace
+from repro.obs.critical_path import (
+    EXPLAIN_VERSION,
+    STAGES,
+    Waterfall,
+    build_waterfalls,
+    critical_path,
+    explain_report,
+    littles_law,
+    slowest_requests,
+    stage_shares,
+    stage_totals,
+)
+from repro.obs.diff import DIFF_VERSION, diff_events, diff_is_empty, render_diff
 from repro.obs.events import (
     EVENT_KINDS,
     NULL_EVENT_LOG,
     Event,
     EventLog,
     NullEventLog,
+    read_events,
     write_events,
 )
 from repro.obs.history import (
     GATED_METRICS,
     Regression,
     append_history,
+    attribute_regression,
     check_regressions,
     load_history,
 )
@@ -57,7 +72,9 @@ from repro.obs.trace import (
 from repro.obs.windowed import WindowedMetrics
 
 __all__ = [
+    "DIFF_VERSION",
     "EVENT_KINDS",
+    "EXPLAIN_VERSION",
     "Event",
     "EventLog",
     "GATED_METRICS",
@@ -66,22 +83,36 @@ __all__ = [
     "NullEventLog",
     "NullTracer",
     "Regression",
+    "STAGES",
     "SloPolicy",
     "SloTracker",
     "Span",
     "Tracer",
+    "Waterfall",
     "WindowedMetrics",
     "append_history",
     "attribute",
+    "attribute_regression",
+    "build_waterfalls",
     "check_regressions",
     "chrome_trace",
     "chrome_trace_json",
+    "critical_path",
+    "diff_events",
+    "diff_is_empty",
     "engine_spans",
+    "explain_report",
+    "littles_law",
     "load_history",
     "pool_prometheus_text",
     "prometheus_text",
+    "read_events",
+    "render_diff",
     "render_span_tree",
     "report_json",
+    "slowest_requests",
+    "stage_shares",
+    "stage_totals",
     "write_chrome_trace",
     "write_events",
     "write_prometheus",

@@ -11,6 +11,12 @@ The report is a pure function of the timeline — no wall clock, no RNG —
 so a seeded run emits a byte-identical artifact, and the per-region rows
 reconcile exactly with :meth:`Timeline.time_by_region` (tested).
 
+When per-request :class:`~repro.obs.critical_path.Waterfall` records are
+supplied (``repro profile --events-in events.jsonl``), the report also
+carries a ``slowest_requests`` top-K section (rid, bucket, per-stage
+waterfall), so the roofline view and the serving waterfall view
+reconcile in one artifact.
+
 Exposed on the CLI as ``repro profile`` and consumable next to
 BENCH_serving.json / BENCH_history.jsonl.
 """
@@ -19,11 +25,14 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
+from typing import Sequence
 
 from repro.gpu.counters import Timeline, _PATTERN_OCCUPANCY
+from repro.obs.critical_path import Waterfall, slowest_requests
 
-#: Schema version of the emitted report (bump on breaking changes).
-REPORT_VERSION = 1
+#: Schema version of the emitted report. v2 added the
+#: ``slowest_requests`` waterfall section (empty without an event log).
+REPORT_VERSION = 2
 
 
 def _round(x: float, nd: int = 6) -> float:
@@ -63,13 +72,17 @@ def _group_rows(records, device, key_fn, total_us: float) -> list[dict]:
     return rows
 
 
-def attribute(timeline: Timeline) -> dict[str, object]:
+def attribute(timeline: Timeline,
+              waterfalls: Sequence[Waterfall] | None = None,
+              top_k: int = 5) -> dict[str, object]:
     """Build the roofline attribution report for one timeline.
 
     Returns a JSON-serializable dict with ``device``, aggregate
-    ``totals``, and per-``kernel_classes`` / per-``regions`` rows sorted
-    by key (deterministic). Kernel classes are ``record.tag or
-    record.name`` — the same keying as :meth:`Timeline.time_by_tag`.
+    ``totals``, per-``kernel_classes`` / per-``regions`` rows sorted by
+    key (deterministic), and — when serving ``waterfalls`` are supplied —
+    the ``slowest_requests`` top-K per-stage breakdown. Kernel classes
+    are ``record.tag or record.name`` — the same keying as
+    :meth:`Timeline.time_by_tag`.
     """
     device = timeline.device
     total_us = timeline.total_time_us
@@ -99,17 +112,23 @@ def attribute(timeline: Timeline) -> dict[str, object]:
             timeline.records, device, lambda r: r.tag or r.name, total_us),
         "regions": _group_rows(
             timeline.records, device, lambda r: r.region, total_us),
+        "slowest_requests": slowest_requests(waterfalls or (), top_k),
     }
 
 
-def report_json(timeline: Timeline) -> str:
+def report_json(timeline: Timeline,
+                waterfalls: Sequence[Waterfall] | None = None,
+                top_k: int = 5) -> str:
     """The attribution report as canonical (sorted-key) JSON text."""
-    return json.dumps(attribute(timeline), sort_keys=True, indent=2) + "\n"
+    return json.dumps(attribute(timeline, waterfalls, top_k),
+                      sort_keys=True, indent=2) + "\n"
 
 
-def write_report(path: str, timeline: Timeline) -> dict[str, object]:
+def write_report(path: str, timeline: Timeline,
+                 waterfalls: Sequence[Waterfall] | None = None,
+                 top_k: int = 5) -> dict[str, object]:
     """Write the report to ``path``; returns the report dict."""
-    report = attribute(timeline)
+    report = attribute(timeline, waterfalls, top_k)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(report, f, sort_keys=True, indent=2)
         f.write("\n")

@@ -1,0 +1,190 @@
+"""Differential trace profiling: why did run B differ from run A?
+
+Aligns two flight-recorder event logs by rid (and bucket) and attributes
+the headline deltas — throughput, p50/p99, SLO attainment — to specific
+stages, buckets, and replicas. Two same-seed runs on the deterministic
+scheduler serialize to byte-identical logs, so their diff is *exactly*
+empty (``identical: true``, every delta 0.0) — the CI trace-smoke job
+asserts this, which makes any nonzero diff a real behavioural change,
+never float noise.
+
+The report is a stable, versioned JSON dict: a pure function of the two
+logs, keys sorted at serialization, all floats rounded the same way as
+:mod:`repro.obs.critical_path`. Exposed on the CLI as
+``repro tracediff A B``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.critical_path import (
+    STAGES,
+    EventsLike,
+    Waterfall,
+    _events_of,
+    _round,
+    build_waterfalls,
+    explain_report,
+)
+
+#: Schema version of the tracediff report (bump on breaking changes).
+DIFF_VERSION = 1
+
+#: Headline metrics lifted from each side's explain report.
+_SUMMARY_PATHS: tuple[tuple[str, ...], ...] = (
+    ("requests", "completed"),
+    ("requests", "rejected"),
+    ("makespan_us",),
+    ("throughput_seq_s",),
+    ("latency_us", "p50"),
+    ("latency_us", "p99"),
+    ("slo", "attainment"),
+)
+
+
+def _lookup(report: dict[str, object], path: tuple[str, ...]) -> float:
+    node: object = report
+    for part in path:
+        assert isinstance(node, dict)
+        node = node[part]
+    assert isinstance(node, (int, float))
+    return float(node)
+
+
+def _stage_delta_rows(wa: dict[int, Waterfall], wb: dict[int, Waterfall]
+                      ) -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for stage in STAGES:
+        a_us = sum(w.stages[stage] for w in wa.values())
+        b_us = sum(w.stages[stage] for w in wb.values())
+        rows[stage] = {"a_us": _round(a_us), "b_us": _round(b_us),
+                       "delta_us": _round(b_us - a_us)}
+    return rows
+
+
+def _group_deltas(wa: dict[int, Waterfall], wb: dict[int, Waterfall],
+                  attr: str) -> list[dict[str, object]]:
+    """Per-bucket / per-replica summed-latency deltas (B − A)."""
+    def totals(ws: dict[int, Waterfall]) -> dict[int, tuple[float, int]]:
+        out: dict[int, tuple[float, int]] = {}
+        for w in ws.values():
+            key = getattr(w, attr)
+            if key is None:
+                continue
+            us, n = out.get(key, (0.0, 0))
+            out[key] = (us + w.latency_us, n + 1)
+        return out
+
+    ta, tb = totals(wa), totals(wb)
+    rows: list[dict[str, object]] = []
+    for key in sorted(set(ta) | set(tb)):
+        a_us, a_n = ta.get(key, (0.0, 0))
+        b_us, b_n = tb.get(key, (0.0, 0))
+        rows.append({
+            attr: key,
+            "a_requests": a_n, "b_requests": b_n,
+            "a_us": _round(a_us), "b_us": _round(b_us),
+            "delta_us": _round(b_us - a_us),
+        })
+    return rows
+
+
+def diff_events(events_a: EventsLike, events_b: EventsLike,
+                label_a: str = "A", label_b: str = "B",
+                top_k: int = 10) -> dict[str, object]:
+    """Diff two runs' event logs into one stage-attribution report.
+
+    Same-seed runs produce ``identical: true`` with every delta exactly
+    zero; otherwise the deltas name the stages / buckets / replicas /
+    requests that moved, ranked by magnitude.
+    """
+    evs_a, evs_b = _events_of(events_a), _events_of(events_b)
+    wa = {w.rid: w for w in build_waterfalls(evs_a)}
+    wb = {w.rid: w for w in build_waterfalls(evs_b)}
+    ra = explain_report(evs_a, top_k=0)
+    rb = explain_report(evs_b, top_k=0)
+
+    summary: dict[str, dict[str, float]] = {}
+    for path in _SUMMARY_PATHS:
+        a_val, b_val = _lookup(ra, path), _lookup(rb, path)
+        summary[".".join(path)] = {
+            "a": _round(a_val), "b": _round(b_val),
+            "delta": _round(b_val - a_val)}
+
+    only_a = sorted(set(wa) - set(wb))
+    only_b = sorted(set(wb) - set(wa))
+    matched = sorted(set(wa) & set(wb))
+    ranked: list[tuple[float, int, dict[str, object]]] = []
+    exact = not only_a and not only_b
+    for rid in matched:
+        a_w, b_w = wa[rid], wb[rid]
+        deltas = {s: b_w.stages[s] - a_w.stages[s] for s in STAGES}
+        if any(d != 0.0 for d in deltas.values()) \
+                or a_w.latency_us != b_w.latency_us:
+            exact = False
+            blame = max(STAGES,
+                        key=lambda s: (abs(deltas[s]), -STAGES.index(s)))
+            delta_us = b_w.latency_us - a_w.latency_us
+            ranked.append((-abs(delta_us), rid, {
+                "rid": rid,
+                "bucket": b_w.bucket,
+                "a_latency_us": _round(a_w.latency_us),
+                "b_latency_us": _round(b_w.latency_us),
+                "delta_us": _round(delta_us),
+                "blame": blame,
+                "stage_deltas_us": {s: _round(d)
+                                    for s, d in deltas.items()},
+            }))
+    ranked.sort(key=lambda item: (item[0], item[1]))
+    changed = [row for _, _, row in ranked]
+
+    reject_a = {e.rid for e in evs_a
+                if e.kind in ("reject", "quota_reject")}
+    reject_b = {e.rid for e in evs_b
+                if e.kind in ("reject", "quota_reject")}
+    exact = exact and reject_a == reject_b
+
+    stages = _stage_delta_rows(wa, wb)
+    nonzero = [s for s in STAGES if stages[s]["delta_us"] != 0.0]
+    blame_stage = max(nonzero, key=lambda s: abs(stages[s]["delta_us"])) \
+        if nonzero else None
+    return {
+        "version": DIFF_VERSION,
+        "labels": {"a": label_a, "b": label_b},
+        "identical": exact,
+        "summary": summary,
+        "stages": stages,
+        "blame": blame_stage,
+        "buckets": _group_deltas(wa, wb, "bucket"),
+        "replicas": _group_deltas(wa, wb, "replica"),
+        "requests": {
+            "matched": len(matched),
+            "changed": len(changed),
+            "only_in_a": only_a[:50],
+            "only_in_b": only_b[:50],
+            "top_changed": changed[:max(0, top_k)],
+        },
+    }
+
+
+def diff_is_empty(report: dict[str, object]) -> bool:
+    """Whether a tracediff report records zero behavioural difference."""
+    return bool(report.get("identical"))
+
+
+def render_diff(report: dict[str, object]) -> list[Sequence[object]]:
+    """Flat (metric, A, B, delta) rows for table rendering on the CLI."""
+    rows: list[Sequence[object]] = []
+    summary = report["summary"]
+    assert isinstance(summary, dict)
+    for name in sorted(summary):
+        row = summary[name]
+        rows.append([name, row["a"], row["b"], row["delta"]])
+    stages = report["stages"]
+    assert isinstance(stages, dict)
+    for stage in STAGES:
+        row = stages[stage]
+        rows.append([f"stage {stage} (us)", row["a_us"], row["b_us"],
+                     row["delta_us"]])
+    return rows

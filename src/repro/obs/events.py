@@ -216,3 +216,33 @@ def write_events(path: str, events: EventLog) -> None:
     """Write one canonical JSONL event log to ``path``."""
     with open(path, "w", encoding="utf-8") as f:
         f.write(events.to_jsonl())
+
+
+def read_events(path: str) -> EventLog:
+    """Load a JSONL event log written by :func:`write_events`.
+
+    Round-trips exactly: ``read_events(p).to_jsonl()`` is byte-identical
+    to the file's content for any canonical log, which is what lets
+    ``repro explain`` / ``repro tracediff`` consume ``--events-out``
+    artifacts from a different process.
+    """
+    log = EventLog()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if not isinstance(obj, dict) or "kind" not in obj \
+                    or "ts_us" not in obj:
+                raise ValueError(
+                    f"{path}:{lineno}: not a flight-recorder event: "
+                    f"{line[:80]!r}")
+            unknown = set(obj) - set(EVENT_FIELDS)
+            if unknown:
+                raise ValueError(f"{path}:{lineno}: unknown event fields "
+                                 f"{sorted(unknown)}")
+            fields = {k: v for k, v in obj.items()
+                      if k not in ("ts_us", "kind")}
+            log.emit(obj["kind"], float(obj["ts_us"]), **fields)
+    return log

@@ -90,13 +90,76 @@ def check_regressions(baseline: dict, current: dict,
     return failures
 
 
+#: Where bench reports carry the per-stage waterfall totals/shares
+#: (written by ``benchmarks/bench_serving.py`` from the flight recorder).
+STAGE_TIME_PATH = ("loadgen", "stage_time_us")
+STAGE_SHARE_PATH = ("loadgen", "stage_shares")
+
+
+def _stage_section(report: dict, path: tuple[str, ...]) -> dict[str, float]:
+    """The per-stage dict at ``path``, or empty when the report predates it."""
+    node: object = report
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return {}
+        node = node[part]
+    if not isinstance(node, dict):
+        return {}
+    return {str(k): float(v) for k, v in node.items()
+            if isinstance(v, (int, float))}
+
+
 def history_entry(report: dict, label: str) -> dict:
-    """One history line: caller-supplied label + the gated metric values."""
+    """One history line: caller-supplied label + the gated metric values.
+
+    Also lifts the loadgen section's per-stage time shares to the top
+    level, so the perf trajectory records *where* time goes, not just the
+    headline numbers.
+    """
     return {
         "label": label,
         "metrics": {path: lookup(report, path)
                     for path, _, _ in GATED_METRICS},
+        "stage_shares": _stage_section(report, STAGE_SHARE_PATH),
+        "stage_time_us": _stage_section(report, STAGE_TIME_PATH),
         "report": report,
+    }
+
+
+def attribute_regression(baseline: dict, current: dict,
+                         failures: list[Regression]) -> dict:
+    """Explain a gate failure: which stage's time moved, and by how much.
+
+    Compares the two reports' per-stage waterfall totals and names the
+    stage with the largest time increase (``blame``) — the artifact the
+    CI perf gate ships instead of a bare threshold trip. Reports that
+    predate stage recording yield ``blame: null`` with a note.
+    """
+    base_us = _stage_section(baseline, STAGE_TIME_PATH)
+    cur_us = _stage_section(current, STAGE_TIME_PATH)
+    base_sh = _stage_section(baseline, STAGE_SHARE_PATH)
+    cur_sh = _stage_section(current, STAGE_SHARE_PATH)
+    stages = {}
+    for stage in sorted(set(base_us) | set(cur_us)):
+        b, c = base_us.get(stage, 0.0), cur_us.get(stage, 0.0)
+        stages[stage] = {
+            "baseline_us": round(b, 6),
+            "current_us": round(c, 6),
+            "delta_us": round(c - b, 6),
+            "baseline_share": round(base_sh.get(stage, 0.0), 6),
+            "current_share": round(cur_sh.get(stage, 0.0), 6),
+        }
+    grew = {s: row["delta_us"] for s, row in stages.items()
+            if row["delta_us"] > 0.0}
+    blame = max(grew, key=lambda s: grew[s]) if grew else None
+    return {
+        "version": 1,
+        "failures": [str(f) for f in failures],
+        "stages": stages,
+        "blame": blame,
+        "note": None if stages else
+        "stage attribution unavailable: reports carry no "
+        "loadgen.stage_time_us section",
     }
 
 

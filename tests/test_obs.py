@@ -690,8 +690,9 @@ class TestAttribution:
         assert main(argv) == 0
         assert out.read_text() == first
         report = json.loads(first)
-        assert report["version"] == 1
+        assert report["version"] == 2  # v2 added slowest_requests
         assert report["device"]["name"] == "V100S"
+        assert report["slowest_requests"] == []  # no event log supplied
         assert "report written" in capsys.readouterr().out
 
 

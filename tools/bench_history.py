@@ -13,16 +13,21 @@ append
 check
     Compare a freshly generated report against the committed baseline
     under the deterministic gates (:data:`repro.obs.history.GATED_METRICS`
-    — loadgen throughput, p99, SLO attainment); exit 1 on regression::
+    — loadgen throughput, p99, SLO attainment); exit 1 on regression.
+    On failure, ``--attribution-out`` writes a stage-attribution artifact
+    (from the reports' ``loadgen.stage_time_us`` waterfall sections)
+    naming *which stage* regressed, instead of a bare threshold trip::
 
         python tools/bench_history.py check --baseline BENCH_serving.json \
-            --current /tmp/BENCH_new.json
+            --current /tmp/BENCH_new.json --attribution-out stage_attr.json
 
 selftest
     Prove the gate fires: synthesize a degraded copy of the baseline
-    (throughput −20%, p99 +20%, attainment −20%) and fail (exit 3) if
-    ``check`` does NOT reject it, or if it rejects the baseline against
-    itself. CI runs this so a silently disabled gate is itself a failure.
+    (throughput −20%, p99 +20%, attainment −20%, execution-stage time
+    +30%) and fail (exit 3) if ``check`` does NOT reject it, if it
+    rejects the baseline against itself, or if the stage-attribution
+    artifact fails to blame the injected stage. CI runs this so a
+    silently disabled gate is itself a failure.
 
 Exit codes: 0 ok, 1 regression detected (check), 2 usage,
 3 selftest found the gate broken.
@@ -43,6 +48,7 @@ if str(_SRC) not in sys.path:
 from repro.obs.history import (  # noqa: E402
     GATED_METRICS,
     append_history,
+    attribute_regression,
     check_regressions,
     load_history,
     lookup,
@@ -69,6 +75,16 @@ def cmd_append(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _write_attribution(path: Path, baseline: dict, current: dict,
+                       failures: list) -> dict:
+    """Write the which-stage-regressed artifact next to a gate failure."""
+    attribution = attribute_regression(baseline, current, failures)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(attribution, f, sort_keys=True, indent=2)
+        f.write("\n")
+    return attribution
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     baseline = _load_report(args.baseline)
     current = _load_report(args.current)
@@ -79,14 +95,30 @@ def cmd_check(args: argparse.Namespace) -> int:
     if failures:
         for f in failures:
             print(f"REGRESSION: {f}", file=sys.stderr)
+        if args.attribution_out is not None:
+            attribution = _write_attribution(
+                args.attribution_out, baseline, current, failures)
+            blame = attribution["blame"]
+            print(f"stage attribution written to {args.attribution_out}"
+                  + (f": '{blame}' grew the most" if blame else
+                     " (no stage data in the reports)"),
+                  file=sys.stderr)
         return EXIT_REGRESSION
     print(f"OK: no regression against {args.baseline} "
           f"({len(GATED_METRICS)} gated metrics)")
     return EXIT_OK
 
 
+#: The stage the selftest inflates; attribution must blame exactly it.
+_SELFTEST_STAGE = "execution"
+
+
 def _degrade(report: dict) -> dict:
-    """A copy of ``report`` pushed past every gate's tolerance."""
+    """A copy of ``report`` pushed past every gate's tolerance.
+
+    Also inflates the ``execution`` stage's waterfall time by 30% so the
+    selftest can prove the attribution artifact blames the right stage.
+    """
     bad = copy.deepcopy(report)
     loadgen = bad.setdefault("loadgen", {})
     for path, direction, _ in GATED_METRICS:
@@ -95,6 +127,16 @@ def _degrade(report: dict) -> dict:
         if not isinstance(value, (int, float)) or value == 0:
             value = 1.0
         loadgen[key] = value * (0.8 if direction == "higher" else 1.2)
+    stage_us = loadgen.get("stage_time_us")
+    if isinstance(stage_us, dict):
+        grown = stage_us.get(_SELFTEST_STAGE, 0.0) * 1.3 + 1.0
+        stage_us[_SELFTEST_STAGE] = grown
+        total = sum(v for v in stage_us.values()
+                    if isinstance(v, (int, float)))
+        if total > 0 and isinstance(loadgen.get("stage_shares"), dict):
+            loadgen["stage_shares"] = {
+                k: v / total for k, v in stage_us.items()
+                if isinstance(v, (int, float))}
     return bad
 
 
@@ -104,15 +146,28 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         print("SELFTEST FAIL: baseline regressed against itself",
               file=sys.stderr)
         return EXIT_SELFTEST
-    failures = check_regressions(baseline, _degrade(baseline))
+    degraded = _degrade(baseline)
+    failures = check_regressions(baseline, degraded)
     if len(failures) != len(GATED_METRICS):
         print(f"SELFTEST FAIL: degraded report tripped only "
               f"{len(failures)}/{len(GATED_METRICS)} gates: "
               f"{[f.metric for f in failures]}", file=sys.stderr)
         return EXIT_SELFTEST
+    attribution = _write_attribution(args.attribution_out, baseline,
+                                     degraded, failures)
+    has_stages = isinstance(baseline.get("loadgen", {}), dict) and \
+        isinstance(baseline["loadgen"].get("stage_time_us"), dict)
+    if has_stages and attribution["blame"] != _SELFTEST_STAGE:
+        print(f"SELFTEST FAIL: attribution blamed "
+              f"{attribution['blame']!r}, expected "
+              f"{_SELFTEST_STAGE!r} (the injected stage)", file=sys.stderr)
+        return EXIT_SELFTEST
     print(f"OK: gate fires on an injected regression "
-          f"({len(failures)}/{len(GATED_METRICS)} gates tripped) and "
-          "passes the baseline against itself")
+          f"({len(failures)}/{len(GATED_METRICS)} gates tripped), "
+          "passes the baseline against itself, and the attribution "
+          f"artifact ({args.attribution_out}) "
+          + (f"blames the injected {_SELFTEST_STAGE!r} stage" if has_stages
+             else "degrades gracefully without stage data"))
     return EXIT_OK
 
 
@@ -144,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="committed baseline report")
     cp.add_argument("--current", type=Path, required=True,
                     help="freshly generated report to gate")
+    cp.add_argument("--attribution-out", type=Path, default=None,
+                    help="on failure, write the stage-attribution "
+                         "artifact (which stage regressed) here")
     cp.set_defaults(fn=cmd_check)
 
     sp = sub.add_parser("selftest",
@@ -152,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--baseline", type=Path,
                     default=REPO_ROOT / "BENCH_serving.json",
                     help="report to degrade and re-check")
+    sp.add_argument("--attribution-out", type=Path,
+                    default=Path("/tmp/bench_history_selftest_attr.json"),
+                    help="where the selftest writes (and then checks) "
+                         "the attribution artifact")
     sp.set_defaults(fn=cmd_selftest)
     return parser
 

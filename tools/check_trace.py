@@ -23,7 +23,11 @@ Checks (the CI trace-smoke step runs this against a ``loadgen`` run):
   object's keys are known schema fields, every kind is a known kind,
   lines are in canonical virtual-time order (globally sorted, per-rid
   nondecreasing timestamps), and every admitted rid reaches exactly one
-  terminal event (complete / reject / quota_reject).
+  terminal event (complete / reject / quota_reject);
+- waterfall invariants: every completed rid reconstructs to a stage
+  waterfall whose stages are contiguous, non-negative, and partition the
+  measured latency (complete − admit) exactly, and the Little's-law
+  cross-check (time-integrated queue depth vs λ·W) has ~zero residual.
 
 Exit codes identify which contract broke (CI log triage):
 
@@ -47,6 +51,11 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.obs.critical_path import (  # noqa: E402
+    STAGES,
+    build_waterfalls,
+    littles_law,
+)
 from repro.obs.events import (  # noqa: E402
     EVENT_FIELDS,
     EVENT_KINDS,
@@ -183,6 +192,7 @@ def check_metrics(path: str, errors: list[str]) -> None:
 
 def check_events(path: str, errors: list[str]) -> None:
     """Schema + lifecycle validation of one flight-recorder JSONL log."""
+    n_prior_errors = len(errors)
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -264,9 +274,47 @@ def check_events(path: str, errors: list[str]) -> None:
     if unadmitted:
         errors.append(f"events: terminal events for never-admitted rids: "
                       f"{unadmitted[:10]}")
+
+    # Waterfall invariants: the per-request stages reconstructed by the
+    # attribution layer must be non-negative and partition each completed
+    # rid's measured latency exactly, and Little's law must reconcile.
+    # Only meaningful over a structurally valid log — skip if the schema
+    # or lifecycle checks above already failed.
+    if len(errors) > n_prior_errors:
+        return
+    typed = [Event(ts_us=float(obj["ts_us"]), kind=obj["kind"],
+                   **{k: v for k, v in obj.items()
+                      if k not in ("ts_us", "kind")})
+             for obj in events]
+    completed = {obj["rid"] for obj in events
+                 if obj["kind"] == "complete" and "rid" in obj}
+    waterfalls = build_waterfalls(typed)
+    if len(waterfalls) != len(completed):
+        missing = sorted(completed - {w.rid for w in waterfalls})
+        errors.append(f"events: completed rids with no reconstructable "
+                      f"waterfall: {missing[:10]}")
+    for w in waterfalls:
+        partition = sum(w.stages[s] for s in STAGES)
+        if abs(partition - w.latency_us) > 1e-6:
+            errors.append(
+                f"events: rid {w.rid} stages sum to {partition} but "
+                f"latency is {w.latency_us} (waterfall must partition "
+                "measured latency exactly)")
+            break
+        negative = [s for s in STAGES if w.stages[s] < -1e-9]
+        if negative:
+            errors.append(f"events: rid {w.rid} has negative stage "
+                          f"durations {negative}")
+            break
+    law = littles_law(typed)
+    if abs(law["residual"]) > 1e-6 * max(1.0, law["mean_queue_depth"]):
+        errors.append(f"events: Little's-law residual {law['residual']} "
+                      f"(L={law['mean_queue_depth']} vs "
+                      f"λW={law['product_depth']})")
     kinds = sorted({obj["kind"] for obj in events})
     print(f"events: {len(events)} events, {len(admitted)} admitted rids, "
-          f"kinds: {kinds}")
+          f"{len(waterfalls)} waterfalls partition latency exactly, "
+          f"Little's-law residual {law['residual']:g}, kinds: {kinds}")
 
 
 def build_parser() -> argparse.ArgumentParser:
