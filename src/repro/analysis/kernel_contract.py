@@ -67,6 +67,14 @@ def _otf_smem(seq_len: int, d_k: int, bytes_per_elem: int,
     return tile_rows * d_k * bytes_per_elem + tile_rows * seq_len * score_bytes
 
 
+def _flash_smem(br: int, bc: int, d_k: int, d_v: int,
+                bytes_per_elem: int) -> int:
+    """The two-dimensional flash budget, mirroring
+    :func:`repro.attention.flash.flash_smem_bytes`."""
+    operand_tiles = (br * d_k + bc * d_k + bc * d_v + br * bc) * bytes_per_elem
+    return operand_tiles + br * d_v * 4 + 2 * br * 4
+
+
 def _own_calls(stmt: ast.stmt) -> list[ast.Call]:
     """Calls evaluated by this statement itself (not by child statements)."""
     out: list[ast.Call] = []
@@ -119,6 +127,8 @@ def _check_site(display: str, ctx: "AnalysisContext", node: ast.Call,
         return _check_kernel_cost(display, ctx, node, env, folder)
     if name == "otf_smem_bytes":
         return _check_otf_smem_site(display, ctx, node, env, folder)
+    if name == "flash_smem_bytes":
+        return _check_flash_smem_site(display, ctx, node, env, folder)
     tile_expr = keyword_arg(node, "tile_rows")
     if tile_expr is not None:
         return _check_tile_rows(display, node, tile_expr, env, folder)
@@ -128,7 +138,8 @@ def _check_site(display: str, ctx: "AnalysisContext", node: ast.Call,
 def _has_checked_calls(func: FuncNode) -> bool:
     for node in ast.walk(func):
         if isinstance(node, ast.Call):
-            if callee_name(node) in ("KernelCost", "otf_smem_bytes") \
+            if callee_name(node) in ("KernelCost", "otf_smem_bytes",
+                                     "flash_smem_bytes") \
                     or keyword_arg(node, "tile_rows") is not None:
                 return True
     return False
@@ -254,6 +265,49 @@ def _check_otf_smem_site(display: str, ctx: "AnalysisContext",
         assert seq_len is not None and d_k is not None  # for the type checker
         assert bpe is not None and tile_rows is not None
         smem = _otf_smem(seq_len, d_k, bpe, mixed, tile_rows)
+        findings.extend(_budget_findings(display, node, smem, ctx.devices))
+    return findings
+
+
+def _check_flash_smem_site(display: str, ctx: "AnalysisContext",
+                           node: ast.Call, env: ConstEnv,
+                           folder: Folder) -> list[Finding]:
+    """Resolve a ``flash_smem_bytes(...)`` call's Br×Bc tile and check it.
+
+    The same contracts as the OTF site, extended to two tile dimensions:
+    ET103 for the HMMA reduction alignment of ``d_k``, ET104 for either
+    tile edge off the 16-row tensor-core grain, ET101/ET102 for the folded
+    byte total against every declared device (including the A100).
+    """
+    findings: list[Finding] = []
+    br_expr = keyword_arg(node, "br", 0)
+    bc_expr = keyword_arg(node, "bc", 1)
+    dk_expr = keyword_arg(node, "d_k", 2)
+    dv_expr = keyword_arg(node, "d_v", 3)
+    bpe_expr = keyword_arg(node, "bytes_per_elem", 4)
+
+    br = None if br_expr is None else folder.fold_int(br_expr, env)
+    bc = None if bc_expr is None else folder.fold_int(bc_expr, env)
+    d_k = None if dk_expr is None else folder.fold_int(dk_expr, env)
+    d_v = (d_k if dv_expr is None else folder.fold_int(dv_expr, env))
+    bpe = 2 if bpe_expr is None else folder.fold_int(bpe_expr, env)
+
+    if d_k is not None and bpe == 2 and d_k % TC_K_ALIGN != 0:
+        findings.append(make_finding(
+            "ET103", display, node.lineno, node.col_offset,
+            f"d_k={d_k} is not a multiple of {TC_K_ALIGN}; FP16 HMMA "
+            f"fragments consume the reduction dimension {TC_K_ALIGN} at a "
+            f"time"))
+    for label, tile in (("br", br), ("bc", bc)):
+        if tile is not None and tile > 0 and tile % TC_TILE_EDGE != 0:
+            findings.append(make_finding(
+                "ET104", display, node.lineno, node.col_offset,
+                f"{label}={tile} is not a multiple of the "
+                f"{TC_TILE_EDGE}-row tensor-core tile edge"))
+    if None not in (br, bc, d_k, d_v, bpe):
+        assert br is not None and bc is not None and d_k is not None
+        assert d_v is not None and bpe is not None
+        smem = _flash_smem(br, bc, d_k, d_v, bpe)
         findings.extend(_budget_findings(display, node, smem, ctx.devices))
     return findings
 

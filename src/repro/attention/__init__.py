@@ -15,7 +15,11 @@ Implementations, all numerically equivalent (tests assert it):
 - :func:`partial_otf_attention` — the sequence-length-aware split (Section
   3.2): an outer-product Q·Kᵀ kernel that stores S once, then a
   mask+softmax+S·V kernel; wins beyond seqLen ≈ 224.
-- :func:`select_attention` — E.T.'s adaptive dispatch between the two.
+- :func:`flash_attention` — FlashAttention-style online-softmax tiling
+  (arXiv 2205.14135): Br×Bc tiles sized to the device's shared memory, no
+  S bytes to HBM, one pass; the modern contender beyond its own crossover.
+- :func:`select_attention` — E.T.'s adaptive dispatch, now three-way and
+  backed by the :mod:`repro.runtime.autotune` tune cache.
 - :mod:`repro.attention.precompute` — the pre-computed W_V·W_O linear
   transformation (Equation 5).
 - :mod:`repro.attention.scaling` — the scaling-reorder overflow study
@@ -27,7 +31,16 @@ from repro.attention.unfused import unfused_attention
 from repro.attention.fused import fused_attention
 from repro.attention.onthefly import otf_attention, otf_smem_bytes
 from repro.attention.partial import partial_otf_attention
-from repro.attention.adaptive import select_attention, otf_crossover_seqlen
+from repro.attention.flash import (
+    flash_attention,
+    flash_smem_bytes,
+    flash_tile_shape,
+)
+from repro.attention.adaptive import (
+    select_attention,
+    otf_crossover_seqlen,
+    flash_crossover_seqlen,
+)
 from repro.attention.precompute import (
     fold_vo,
     condense_folded,
@@ -53,8 +66,12 @@ __all__ = [
     "otf_attention",
     "otf_smem_bytes",
     "partial_otf_attention",
+    "flash_attention",
+    "flash_smem_bytes",
+    "flash_tile_shape",
     "select_attention",
     "otf_crossover_seqlen",
+    "flash_crossover_seqlen",
     "fold_vo",
     "precomputed_context",
     "overflow_heatmap",

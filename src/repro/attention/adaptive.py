@@ -1,10 +1,14 @@
-"""Sequence-length-aware dispatch between full and partial OTF attention.
+"""Sequence-length-aware dispatch between the attention variants.
 
 "E.T. will adapt the partial on-the-fly attention when sequence length is
 larger than 224" (Section 5.2.2). Rather than hard-coding 224, the engine
-evaluates both operators' cost-model estimates on a scratch timeline and
-picks the cheaper one — 224 then *emerges* for the BERT_BASE configuration,
-which the Fig. 8 bench verifies.
+prices the candidates with their cost-only estimators and picks the cheapest
+— 224 then *emerges* for the BERT_BASE configuration, which the Fig. 8 bench
+verifies. The arbitration is now three-way (full OTF, partial OTF, flash)
+and runs through :func:`repro.runtime.autotune.autotune_attention`: a
+per-(device, shape, dtype) decision memoized in the process-wide
+``TUNE_CACHE``, so steady-state selection is a dict lookup instead of the
+scratch numerics passes the original two-way dispatch paid per call.
 """
 
 from __future__ import annotations
@@ -12,16 +16,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ops.context import ExecContext
+from repro.attention.flash import flash_attention, packed_flash_attention
 from repro.attention.onthefly import otf_attention
 from repro.attention.partial import partial_otf_attention
 
-#: The paper's empirically observed switch point for BERT_BASE, kept as a
-#: documented fallback for callers that want the fixed rule.
+#: The paper's empirically observed OTF→partial switch point for BERT_BASE,
+#: kept as a documented fallback for callers that want the fixed rule.
 PAPER_THRESHOLD = 224
 
 
 def _estimate_us(ctx: ExecContext, impl, q, k, v, mask, **kwargs) -> float:
-    """Run ``impl`` on a forked (scratch) context and return its model time."""
+    """Run ``impl`` on a forked (scratch) context and return its model time.
+
+    Retained for the legacy crossover probes below; the dispatch itself no
+    longer pays these throwaway numerics runs.
+    """
     scratch = ctx.fork()
     impl(scratch, q, k, v, mask, **kwargs)
     return scratch.tl.total_time_us
@@ -35,16 +44,26 @@ def select_attention(
     mask: np.ndarray | None = None,
     effective_v_width: int | None = None,
 ) -> tuple[np.ndarray, str]:
-    """Run whichever of full/partial OTF the cost model predicts is faster.
+    """Run whichever attention variant the cost model predicts is fastest.
 
-    Returns ``(z, chosen)`` where ``chosen`` is ``"otf"`` or ``"partial_otf"``.
+    Returns ``(z, chosen)`` with ``chosen`` in ``{"otf", "partial_otf",
+    "flash"}``. The decision comes from the autotuner's tune cache (lazy
+    import — ``repro.runtime`` imports this module at package init).
     """
+    from repro.runtime.autotune import AttentionKey, autotune_attention
+
+    h, s, d_k = q.shape
+    v_width = effective_v_width if effective_v_width is not None else v.shape[2]
+    choice = autotune_attention(
+        AttentionKey(ctx.device.name, h, s, d_k, v_width, mask is not None,
+                     ctx.bytes_per_elem, ctx.tensor_core))
     kw = {"effective_v_width": effective_v_width}
-    t_full = _estimate_us(ctx, otf_attention, q, k, v, mask, **kw)
-    t_partial = _estimate_us(ctx, partial_otf_attention, q, k, v, mask, **kw)
-    if t_full <= t_partial:
-        return otf_attention(ctx, q, k, v, mask, **kw), "otf"
-    return partial_otf_attention(ctx, q, k, v, mask, **kw), "partial_otf"
+    impls = {
+        "otf": otf_attention,
+        "partial_otf": partial_otf_attention,
+        "flash": flash_attention,
+    }
+    return impls[choice](ctx, q, k, v, mask, **kw), choice
 
 
 def packed_select_attention(
@@ -53,18 +72,28 @@ def packed_select_attention(
     v: np.ndarray,
     mask: np.ndarray | None,
     choice: str,
+    device=None,
+    bytes_per_elem: int = 2,
+    effective_v_width: int | None = None,
+    tensor_core: bool = True,
 ) -> np.ndarray:
-    """Replay a plan-recorded full/partial choice over a packed batch.
+    """Replay a plan-recorded attention choice over a packed batch.
 
-    The packed path never re-runs the cost comparison (that — including the
-    two scratch numerics passes :func:`select_attention` pays per call — was
-    done once at plan-compile time); it dispatches straight to the recorded
-    winner's numerics-only twin. Both twins compute identical math, so the
-    choice only matters for cost provenance, which the plan replays anyway.
+    The packed path never re-runs the cost comparison (that was done once
+    at plan-compile time); it dispatches straight to the recorded winner's
+    numerics-only twin. The OTF/partial twins compute identical math, so
+    their extra arguments are ignored; the flash twin re-derives its
+    device-dependent tile shape, so ``device`` (and the cost-only
+    ``effective_v_width``/``tensor_core`` inputs) must match what the
+    serial compile pass used for the packed output to stay bitwise equal.
     """
     from repro.attention.onthefly import packed_otf_attention
     from repro.attention.partial import packed_partial_otf_attention
 
+    if choice == "flash":
+        return packed_flash_attention(
+            q, k, v, mask, device=device, bytes_per_elem=bytes_per_elem,
+            effective_v_width=effective_v_width, tensor_core=tensor_core)
     impls = {
         "otf": packed_otf_attention,
         "partial_otf": packed_partial_otf_attention,
@@ -85,8 +114,9 @@ def otf_crossover_seqlen(
 ) -> int | None:
     """First sequence length at which partial OTF beats full OTF.
 
-    Used by the Fig. 8 bench to verify the crossover lands near the paper's
-    224 for the BERT_BASE head geometry.
+    The paper's original two-way probe (flash excluded), used by the Fig. 8
+    bench to verify the crossover lands near 224 for the BERT_BASE head
+    geometry.
     """
     rng = np.random.default_rng(0)
     for s in seq_lens:
@@ -97,5 +127,30 @@ def otf_crossover_seqlen(
         t_full = _estimate_us(ctx, otf_attention, q, k, v, mask)
         t_partial = _estimate_us(ctx, partial_otf_attention, q, k, v, mask)
         if t_partial < t_full:
+            return s
+    return None
+
+
+def flash_crossover_seqlen(
+    ctx: ExecContext,
+    num_heads: int,
+    d_k: int,
+    seq_lens: range = range(32, 513, 16),
+    with_mask: bool = False,
+) -> int | None:
+    """First sequence length at which flash beats *both* OTF variants.
+
+    The three-way analogue of :func:`otf_crossover_seqlen`; beyond this
+    point the adaptive dispatch picks flash (perf-smoke gates on it for
+    the V100S).
+    """
+    from repro.runtime.autotune import AttentionKey, estimate_attention_us
+
+    for s in seq_lens:
+        key = AttentionKey(ctx.device.name, num_heads, s, d_k, d_k,
+                           with_mask, ctx.bytes_per_elem, ctx.tensor_core)
+        t_flash = estimate_attention_us(key, "flash")
+        if (t_flash < estimate_attention_us(key, "otf")
+                and t_flash < estimate_attention_us(key, "partial_otf")):
             return s
     return None

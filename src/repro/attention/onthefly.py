@@ -68,19 +68,26 @@ def otf_smem_bytes(
     return q_tile + s_tile
 
 
-def _otf_kernel_cost(
-    ctx: ExecContext,
+def otf_attention_cost(
     num_heads: int,
     seq_len: int,
     d_k: int,
     v_width: int,
     has_mask: bool,
-    mixed_precision: bool,
-    tile_rows: int,
-    name: str,
-    tag: str,
+    bytes_per_elem: int = 2,
+    tensor_core: bool = True,
+    mixed_precision: bool = False,
+    tile_rows: int = TILE_ROWS,
+    name: str = "otf_attention",
+    tag: str = "attention",
 ) -> KernelCost:
-    b = ctx.bytes_per_elem
+    """Cost-only twin of :func:`otf_attention`: the one-kernel launch cost.
+
+    A pure function of shapes — no numerics, no timeline. The attention
+    autotuner (:mod:`repro.runtime.autotune`) prices candidates with this
+    instead of paying a scratch numerics pass per estimate.
+    """
+    b = bytes_per_elem
     n_tiles = -(-seq_len // tile_rows)
     h = num_heads
     s = seq_len
@@ -109,7 +116,7 @@ def _otf_kernel_cost(
         bytes_stored=stores,
         smem_per_cta_bytes=otf_smem_bytes(s, d_k, b, mixed_precision, tile_rows),
         ctas=h * n_tiles,
-        uses_tensor_core=ctx.tensor_core,
+        uses_tensor_core=tensor_core,
         compute_eff=max(1e-4, eff),
         # Mixed precision halves resident CTAs (doubled smem), degrading
         # streaming quality; the reordered pure-FP16 kernel streams cleanly.
@@ -152,9 +159,9 @@ def otf_attention(
     if v.shape[0] != h or v.shape[1] != s:
         raise ValueError(f"v shape {v.shape} incompatible with q {q.shape}")
     v_width = effective_v_width if effective_v_width is not None else v.shape[2]
-    cost = _otf_kernel_cost(
-        ctx, h, s, d_k, v_width, mask is not None,
-        mixed_precision, tile_rows, name, tag,
+    cost = otf_attention_cost(
+        h, s, d_k, v_width, mask is not None, ctx.bytes_per_elem,
+        ctx.tensor_core, mixed_precision, tile_rows, name, tag,
     )
     ctx.tl.launch(cost)
 

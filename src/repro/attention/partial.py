@@ -33,6 +33,66 @@ from repro.attention.onthefly import (
 )
 
 
+def partial_otf_costs(
+    num_heads: int,
+    seq_len: int,
+    d_k: int,
+    v_width: int,
+    has_mask: bool,
+    bytes_per_elem: int = 2,
+    tensor_core: bool = True,
+    tile_rows: int = TILE_ROWS,
+    tag: str = "attention",
+) -> list[KernelCost]:
+    """Cost-only twin of :func:`partial_otf_attention`: both kernel costs.
+
+    A pure function of shapes — the attention autotuner prices the
+    two-kernel split with this instead of running scratch numerics.
+    """
+    h, s, b = num_heads, seq_len, bytes_per_elem
+    n_tiles = -(-s // tile_rows)
+
+    # Kernel 1: outer-product scaled Q·Kᵀ; Q and K stream exactly once.
+    k1_flops = 2.0 * h * s * s * d_k + h * s * d_k
+    k1 = KernelCost(
+        name="otf_qk_outer",
+        flops=k1_flops,
+        bytes_loaded=2.0 * h * s * d_k * b,
+        bytes_stored=h * s * s * b,
+        ctas=max(1, h * -(-s // 64) * -(-s // 64)),
+        uses_tensor_core=tensor_core,
+        compute_eff=max(1e-4, OTF_COMPUTE_EFF * k1_flops / (k1_flops + GEMM_SAT_FLOPS)),
+        mem_pattern=MemPattern.STREAM,
+        tag=tag,
+        sync_after=True,  # device-wide sync before S is consumed
+    )
+
+    # Kernel 2: per-row-tile mask + softmax + S·V.
+    k2_flops = 2.0 * h * s * s * v_width + 7.0 * h * s * s
+    k2_loads = h * s * s * b  # S, once
+    k2_loads += h * n_tiles * s * v_width * b  # V per row tile
+    if has_mask:
+        k2_loads += h * s * s * b
+    # Only V is re-streamed, and every CTA consumes V rows in the same order
+    # (lockstep), so half the redundant traffic is L2-served — unlike the full
+    # OTF kernel's interleaved K+V streams.
+    k2_redundant = 0.5 * h * (n_tiles - 1) * s * v_width * b
+    k2 = KernelCost(
+        name="otf_softmax_sv",
+        flops=k2_flops,
+        bytes_loaded=k2_loads,
+        bytes_stored=h * s * v_width * b,
+        smem_per_cta_bytes=otf_smem_bytes(s, d_k, b, False, tile_rows),
+        ctas=h * n_tiles,
+        uses_tensor_core=tensor_core,
+        compute_eff=max(1e-4, OTF_COMPUTE_EFF * k2_flops / (k2_flops + GEMM_SAT_FLOPS)),
+        mem_pattern=MemPattern.STREAM,
+        mem_eff_scale=reload_contention_penalty(k2_redundant),
+        tag=tag,
+    )
+    return [k1, k2]
+
+
 def partial_otf_attention(
     ctx: ExecContext,
     q: np.ndarray,
@@ -52,51 +112,10 @@ def partial_otf_attention(
         raise ValueError(f"q/k shapes differ: {q.shape} vs {k.shape}")
     h, s, d_k = q.shape
     v_width = effective_v_width if effective_v_width is not None else v.shape[2]
-    b = ctx.bytes_per_elem
-    n_tiles = -(-s // tile_rows)
-
-    # Kernel 1: outer-product scaled Q·Kᵀ; Q and K stream exactly once.
-    k1_flops = 2.0 * h * s * s * d_k + h * s * d_k
-    ctx.tl.launch(
-        KernelCost(
-            name="otf_qk_outer",
-            flops=k1_flops,
-            bytes_loaded=2.0 * h * s * d_k * b,
-            bytes_stored=h * s * s * b,
-            ctas=max(1, h * -(-s // 64) * -(-s // 64)),
-            uses_tensor_core=ctx.tensor_core,
-            compute_eff=max(1e-4, OTF_COMPUTE_EFF * k1_flops / (k1_flops + GEMM_SAT_FLOPS)),
-            mem_pattern=MemPattern.STREAM,
-            tag=tag,
-            sync_after=True,  # device-wide sync before S is consumed
-        )
-    )
-
-    # Kernel 2: per-row-tile mask + softmax + S·V.
-    k2_flops = 2.0 * h * s * s * v_width + 7.0 * h * s * s
-    k2_loads = h * s * s * b  # S, once
-    k2_loads += h * n_tiles * s * v_width * b  # V per row tile
-    if mask is not None:
-        k2_loads += h * s * s * b
-    # Only V is re-streamed, and every CTA consumes V rows in the same order
-    # (lockstep), so half the redundant traffic is L2-served — unlike the full
-    # OTF kernel's interleaved K+V streams.
-    k2_redundant = 0.5 * h * (n_tiles - 1) * s * v_width * b
-    ctx.tl.launch(
-        KernelCost(
-            name="otf_softmax_sv",
-            flops=k2_flops,
-            bytes_loaded=k2_loads,
-            bytes_stored=h * s * v_width * b,
-            smem_per_cta_bytes=otf_smem_bytes(s, d_k, b, False, tile_rows),
-            ctas=h * n_tiles,
-            uses_tensor_core=ctx.tensor_core,
-            compute_eff=max(1e-4, OTF_COMPUTE_EFF * k2_flops / (k2_flops + GEMM_SAT_FLOPS)),
-            mem_pattern=MemPattern.STREAM,
-            mem_eff_scale=reload_contention_penalty(k2_redundant),
-            tag=tag,
-        )
-    )
+    for cost in partial_otf_costs(h, s, d_k, v_width, mask is not None,
+                                  ctx.bytes_per_elem, ctx.tensor_core,
+                                  tile_rows, tag):
+        ctx.tl.launch(cost)
 
     scores = (q / np.sqrt(float(d_k))) @ k.transpose(0, 2, 1)
     if mask is not None:

@@ -40,6 +40,17 @@ span chain; ``--metrics-out`` writes a Prometheus text exposition.
 ``trace`` runs one request and pretty-prints the span tree with per-span
 profiling-counter rollups.
 
+Attention autotuning (ISSUE 10)::
+
+    python -m repro autotune                      # BERT_BASE, all devices
+    python -m repro autotune --model Transformer
+    python -m repro autotune --tune-out results/tune_cache.json
+
+``autotune`` sweeps the per-(device, seqLen) attention-algorithm tuner
+(full OTF vs partial OTF vs flash), prints the per-device winner ranges
+with the crossover seqLens, and with ``--tune-out`` persists the warmed
+selection cache as deterministic JSON.
+
 SLO & profiling (ISSUE 7)::
 
     python -m repro loadgen --slo-us 0 --events-out events.jsonl
@@ -211,6 +222,47 @@ def cmd_fig13(args) -> str:
                       + res.ascii_art(method, rows=20, cols=40))
     return "Fig.13 — in_proj_weight masks (2400x800, 50%)\n" + \
         "\n\n".join(blocks)
+
+
+def cmd_autotune(args) -> str:
+    """Per-device attention-algorithm selection study + persisted cache.
+
+    Sweeps the tuner over every modeled device for the chosen model's
+    attention geometry, prints the per-device winner-by-seqLen table with
+    the crossover seqLens, and (with ``--tune-out``) persists the warmed
+    selection cache as deterministic JSON so later runs start from a
+    cache hit.
+    """
+    from repro.config import BERT_BASE, DISTILBERT, TRANSFORMER_WT2
+    from repro.runtime.autotune import TuneCache, crossover_report
+
+    cfg = {"BERT_BASE": BERT_BASE, "Transformer": TRANSFORMER_WT2,
+           "DistilBERT": DISTILBERT}.get(args.model, BERT_BASE)
+    cache = TuneCache()
+    report = crossover_report(cfg.num_heads, cfg.d_head, cache=cache)
+    rows = []
+    for dev, entry in sorted(report.items()):
+        winners = sorted(entry["winners"].items())
+        run_start, run_algo = winners[0]
+        for s, algo in winners[1:]:
+            if algo != run_algo:
+                rows.append([dev, f"{run_start}..{s - 1}", run_algo])
+                run_start, run_algo = s, algo
+        rows.append([dev, f"{run_start}..{winners[-1][0]}", run_algo])
+        for name, val in sorted(entry["crossover"].items()):
+            rows.append([dev, f"{name} takes over at",
+                         "never" if val is None else val])
+    out = [_fmt_table(["device", "seqLen range", "winner"], rows,
+                      f"autotune — {cfg.name} "
+                      f"(H={cfg.num_heads}, d_head={cfg.d_head})")]
+    stats = cache.stats()
+    out.append(f"[tune cache: {stats['size']} entries, "
+               f"{stats['hits']} hits / {stats['misses']} misses]")
+    if args.tune_out:
+        cache.save(args.tune_out)
+        out.append(f"[cache written to {args.tune_out} — deterministic "
+                   "JSON, byte-identical across same-seed runs]")
+    return "\n".join(out)
 
 
 def _scale(args):
@@ -703,7 +755,7 @@ LATENCY_CMDS = ("fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13")
 ALL_CMDS = LATENCY_CMDS + ("fig14", "table1")
 SERVING_CMDS = ("serve", "loadgen", "trace", "profile", "explain",
-                "tracediff")
+                "tracediff", "autotune")
 
 
 def cmd_all(args) -> str:
@@ -831,6 +883,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE",
                    help="profile: fold this flight-recorder log's top-K "
                         "request waterfalls into the roofline report")
+    e.add_argument("--tune-out", default=None, dest="tune_out",
+                   metavar="FILE",
+                   help="autotune: persist the warmed attention tune cache "
+                        "as deterministic JSON (TuneCache.load restores it)")
     return p
 
 

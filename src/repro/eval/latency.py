@@ -12,6 +12,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attention import (
+    flash_attention,
+    flash_crossover_seqlen,
     fused_attention,
     otf_attention,
     partial_otf_attention,
@@ -147,19 +149,35 @@ def fig07_encoder_latency(
 
 @dataclass
 class Fig8Result:
-    """One model's attention-latency series across seqLen."""
+    """One model's attention-latency series across seqLen.
+
+    ``crossover`` is the paper's original OTF→partial switch point;
+    ``flash_crossover`` is where flash starts beating *both* OTF variants
+    on the same device (the three-way re-study this repo adds).
+    """
 
     model: str
     seq_lens: list[int]
     tensorrt_us: list[float]
     otf_us: list[float]
     partial_otf_us: list[float]
+    flash_us: list[float]
     crossover: int | None
+    flash_crossover: int | None
+    device: str = "V100S"
 
     def speedup_over_trt(self) -> list[float]:
-        """TensorRT time over the best OTF variant, per seqLen."""
-        return [t / min(o, p) for t, o, p in
-                zip(self.tensorrt_us, self.otf_us, self.partial_otf_us)]
+        """TensorRT time over the best E.T.-side variant, per seqLen."""
+        return [t / min(o, p, f) for t, o, p, f in
+                zip(self.tensorrt_us, self.otf_us, self.partial_otf_us,
+                    self.flash_us)]
+
+    def winner(self, i: int) -> str:
+        """Fastest E.T.-side variant at seq index ``i``."""
+        series = (("otf", self.otf_us[i]),
+                  ("partial_otf", self.partial_otf_us[i]),
+                  ("flash", self.flash_us[i]))
+        return min(series, key=lambda kv: kv[1])[0]
 
 
 def fig08_attention(
@@ -168,25 +186,30 @@ def fig08_attention(
     device: DeviceSpec | None = None,
     seed: int = 0,
 ) -> Fig8Result:
-    """Attention-only comparison: TensorRT plugin vs full/partial OTF."""
+    """Attention-only comparison: TensorRT plugin vs full/partial OTF vs
+    flash, on one device."""
     cfg = {"BERT_BASE": BERT_BASE, "Transformer": TRANSFORMER_WT2}[model]
     h, dk = cfg.num_heads, cfg.d_head
     rng = np.random.default_rng(seed)
     dev = device or default_device()
     res = Fig8Result(model=model, seq_lens=list(seq_lens),
                      tensorrt_us=[], otf_us=[], partial_otf_us=[],
-                     crossover=None)
+                     flash_us=[], crossover=None, flash_crossover=None,
+                     device=dev.name)
     for s in seq_lens:
         q, k, v = _qkv(rng, h, s, dk)
         mask = np.zeros((s, s))
         for fn, series in ((fused_attention, res.tensorrt_us),
                            (otf_attention, res.otf_us),
-                           (partial_otf_attention, res.partial_otf_us)):
+                           (partial_otf_attention, res.partial_otf_us),
+                           (flash_attention, res.flash_us)):
             tl = Timeline(dev)
             fn(fp16_ctx(tl), q, k, v, mask)
             series.append(tl.total_time_us)
     tl = Timeline(dev)
     res.crossover = otf_crossover_seqlen(fp16_ctx(tl), h, dk, with_mask=True)
+    res.flash_crossover = flash_crossover_seqlen(fp16_ctx(Timeline(dev)), h,
+                                                 dk, with_mask=True)
     return res
 
 

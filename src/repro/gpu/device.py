@@ -90,3 +90,17 @@ A100 = DeviceSpec(
 def default_device() -> DeviceSpec:
     """The device every experiment runs on unless overridden (the V100S)."""
     return V100S
+
+
+def all_devices() -> tuple[DeviceSpec, ...]:
+    """Every modeled device, paper GPU first (per-device study order)."""
+    return (V100S, A100)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Resolve a device by its marketing name (tune-cache keys store it)."""
+    for dev in all_devices():
+        if dev.name == name:
+            return dev
+    raise KeyError(f"unknown device {name!r}; known: "
+                   f"{[d.name for d in all_devices()]}")

@@ -77,6 +77,21 @@ def smem_fits(smem_per_cta_bytes: int, device: DeviceSpec) -> bool:
     return smem_per_cta_bytes <= device.smem_per_sm_bytes
 
 
+def grid_occupancy(ctas: int, device: DeviceSpec) -> float:
+    """Fraction of SMs a grid of ``ctas`` CTAs can keep streaming, in (0, 1].
+
+    A grid smaller than the SM count leaves whole SMs idle, and DRAM
+    bandwidth scales with the number of concurrently streaming CTAs until
+    the device fills. Coarse-tile kernels (the flash-style Br-row blocks)
+    pay this at short sequence lengths; the OTF kernel's fine 16-row tiles
+    rarely do. Floored away from zero so a one-CTA launch still makes
+    forward progress in the model.
+    """
+    if ctas <= 0:
+        raise ValueError(f"a grid has at least one CTA: {ctas}")
+    return max(1.0 / device.num_sms, min(1.0, ctas / device.num_sms))
+
+
 @dataclass
 class KernelCost:
     """One kernel launch, as the cost model sees it.

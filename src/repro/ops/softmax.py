@@ -40,6 +40,37 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return e
 
 
+def online_softmax_update(
+    m: np.ndarray,
+    l: np.ndarray,
+    acc: np.ndarray,
+    scores: np.ndarray,
+    v_tile: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One column-tile step of the online (streaming) softmax.
+
+    Folds a ``(..., rows, bc)`` tile of masked, scaled scores and its
+    ``(..., bc, d_v)`` V tile into the running row statistics: ``m`` is the
+    running row max, ``l`` the running denominator, ``acc`` the
+    *unnormalized* output accumulator (``softmax(S) @ V`` times ``l``).
+    Returns the updated ``(m, l, acc)``; after the last tile the caller
+    normalizes with ``acc / l``. Rescaling uses ``exp(m_old - m_new)``,
+    which is exactly 0.0 for the ``m = -inf`` initial state, so the first
+    tile needs no special case.
+
+    All operations are elementwise or batched matmuls over the leading
+    axes, so the serial ``(H, ...)`` and packed ``(B, H, ...)`` callers
+    execute identical per-slice floating-point schedules — the flash
+    packed-equivalence tests pin the outputs down bitwise.
+    """
+    m_new = np.maximum(m, scores.max(axis=-1))
+    p = np.exp(scores - m_new[..., None])
+    corr = np.exp(m - m_new)
+    l_new = l * corr + p.sum(axis=-1)
+    acc_new = acc * corr[..., None] + p @ v_tile
+    return m_new, l_new, acc_new
+
+
 def _score_pattern(ctx: ExecContext, scores: np.ndarray) -> MemPattern:
     """Per-head (H, s, s) score tensors are strided-batched accesses."""
     return MemPattern.BATCHED if scores.ndim == 3 else ctx.elementwise_pattern

@@ -330,6 +330,7 @@ class ETEngine(Engine):
             packed_split_heads(qkv[..., d:2 * d], h),
             packed_split_heads(qkv[..., 2 * d:], h),
             mask_b, choice=plan.attention_choice(layer_idx),
+            device=self.device,
         )
 
         y = packed_gemm_bias_act(z, pl.wo_t, lw.bo, residual=xb,
@@ -358,10 +359,16 @@ class ETEngine(Engine):
         v = self._linear(scratch, xb, layer_idx, "wv", lw.bv,
                          masked_full=True, tag="step1_qkv")
 
+        # Same cost-only effective V width the serial compile pass handed
+        # to select_attention — flash tile selection must see equal inputs
+        # for the packed numerics to stay bitwise equal to serial.
+        eff_vw = (max(1, math.ceil(compiled.v_kept / h))
+                  if compiled.v_kept is not None else None)
         z = packed_select_attention(
             packed_split_heads(q, h), packed_split_heads(k, h),
             packed_split_heads(v, h), mask_b,
             choice=plan.attention_choice(layer_idx),
+            device=self.device, effective_v_width=eff_vw,
         )
 
         y = self._linear(scratch, z, layer_idx, "wo", lw.bo,

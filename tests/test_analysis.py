@@ -110,6 +110,56 @@ def test_et101_via_otf_smem_formula(tmp_path):
     assert rules == ["ET101"]
 
 
+def test_et101_via_flash_smem_formula(tmp_path):
+    # A 128x128 tile at d=256: operand tiles + FP32 accumulator exceed
+    # every device's per-SM budget, A100 included.
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.flash import flash_smem_bytes
+
+        smem = flash_smem_bytes(128, 128, 256, 256)
+    """)
+    assert rules == ["ET101"]
+
+
+def test_et102_flash_tile_fits_a100_only(tmp_path):
+    # 128x128 at d=64 needs ~113 KiB: over the V100S's 96 KiB/SM, inside
+    # the A100's 164 KiB/SM — a portability finding, not a hard error.
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.flash import flash_smem_bytes
+
+        smem = flash_smem_bytes(128, 128, 64, 64)
+    """)
+    assert rules == ["ET102"]
+
+
+def test_et103_flash_misaligned_dk(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.flash import flash_smem_bytes
+
+        smem = flash_smem_bytes(64, 32, 60, 60)
+    """)
+    assert rules == ["ET103"]
+
+
+def test_et104_flash_misaligned_tiles(tmp_path):
+    # Both tile edges off the 16-row tensor-core grain flag independently.
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.flash import flash_smem_bytes
+
+        smem = flash_smem_bytes(24, 40, 64, 64)
+    """)
+    assert rules == ["ET104", "ET104"]
+
+
+def test_aligned_flash_site_is_clean(tmp_path):
+    rules, _ = lint_snippet(tmp_path, """
+        from repro.attention.flash import flash_smem_bytes
+
+        smem = flash_smem_bytes(64, 64, 64, 64)
+    """)
+    assert rules == []
+
+
 # ---- pass 2: FP16 safety ---------------------------------------------------
 
 

@@ -5,6 +5,8 @@ import pytest
 
 from repro.attention import (
     OverflowStudy,
+    flash_attention,
+    flash_tile_shape,
     fold_vo,
     fused_attention,
     merge_heads,
@@ -19,6 +21,7 @@ from repro.attention import (
     split_heads,
     unfused_attention,
 )
+from repro.attention.adaptive import _estimate_us
 from repro.attention.precompute import condense_folded, precomputed_context
 from repro.config import BERT_BASE, BERT_LARGE
 from repro.gpu import Timeline, V100S
@@ -186,13 +189,24 @@ class TestAdaptive:
         assert co is not None
         assert 192 <= co <= 272
 
-    def test_full_wins_short_partial_wins_long(self, rng, ctx):
+    def test_full_wins_short_flash_wins_long(self, rng, ctx):
         h, dk = 12, 64
-        for s, expect in ((64, "otf"), (384, "partial_otf")):
+        for s, expect in ((64, "otf"), (384, "flash")):
             q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
             _, chosen = select_attention(ctx.fork(), q, k, v,
                                          np.zeros((s, s)))
             assert chosen == expect
+
+    def test_partial_still_beats_full_otf_long(self, rng, ctx):
+        """The paper's own two-way ordering survives the three-way tuner:
+        at 384 the partial split still beats full OTF, even though flash
+        now beats both."""
+        h, dk, s = 12, 64, 384
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        mask = np.zeros((s, s))
+        t_full = _estimate_us(ctx, otf_attention, q, k, v, mask)
+        t_partial = _estimate_us(ctx, partial_otf_attention, q, k, v, mask)
+        assert t_partial < t_full
 
     def test_et_attention_beats_tensorrt_across_range(self, rng):
         """Fig. 8: 'either OTF or partial OTF would best TensorRT across
@@ -350,3 +364,122 @@ class TestPartialPrecompute:
         _, chosen = select_attention_precomputed(fp16_ctx(tl), q, k, xm,
                                                  out_features=w)
         assert chosen == "partial_otf_precomputed"
+
+
+class TestFlash:
+    """Flash attention: online-softmax tiling vs the exact reference."""
+
+    @pytest.mark.parametrize("s", [8, 16, 24, 64, 128, 333, 1024])
+    @pytest.mark.parametrize("with_mask", [False, True])
+    def test_matches_reference_across_seqlen(self, rng, ctx, s, with_mask):
+        h, dk = 4, 32
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        mask = causal_mask(s) if with_mask else None
+        ref = merge_heads(reference_attention(q, k, v, mask))
+        out = flash_attention(ctx.fork(), q, k, v, mask)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_single_tile_sequence(self, rng, ctx):
+        """s smaller than any tile: one ragged (s, s) tile, still exact."""
+        h, s, dk = 4, 8, 16
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        br, bc = flash_tile_shape(h, s, dk, device=V100S)
+        assert br > s and bc > s
+        ref = merge_heads(reference_attention(q, k, v))
+        out = flash_attention(ctx, q, k, v)
+        np.testing.assert_allclose(out, ref, atol=1e-7)
+
+    def test_ragged_final_tiles_exact(self, rng, ctx):
+        """Pinned tiles that don't divide s: last row/col blocks are ragged."""
+        h, s, dk = 2, 100, 16
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        ref = merge_heads(reference_attention(q, k, v))
+        out = flash_attention(ctx, q, k, v, br=48, bc=24)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_all_masked_row_stays_finite(self, rng, ctx):
+        """A fully masked row (finite MASK_NEG) must not NaN the rescale."""
+        from repro.ops.softmax import MASK_NEG
+
+        h, s, dk = 2, 96, 16
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        mask = np.zeros((s, s))
+        mask[5, :] = MASK_NEG  # row 5 attends to nothing
+        out = flash_attention(ctx, q, k, v, mask)
+        assert np.isfinite(out).all()
+        ref = merge_heads(reference_attention(q, k, v, mask))
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_fp16_prescale_avoids_overflow(self, rng, ctx):
+        """Fig. 4 regime: wide d_k, large-magnitude Q/K. Scaling Q before
+        the matmul keeps the FP16 score tile representable; scaling after
+        would overflow (sum of ~256 products of ~18-magnitude values)."""
+        h, s, dk = 2, 64, 256
+        q = (18.0 + 5.0 * rng.standard_normal((h, s, dk))).astype(np.float16)
+        k = (18.0 + 5.0 * rng.standard_normal((h, s, dk))).astype(np.float16)
+        v = rng.standard_normal((h, s, dk)).astype(np.float16)
+        kt = k.swapaxes(-1, -2)
+        scale = np.float16(1.0) / np.sqrt(np.float16(dk))
+        with np.errstate(over="ignore"):
+            assert not np.isfinite(q @ kt).all()   # post-scale overflows
+        assert np.isfinite((q * scale) @ kt).all()  # pre-scale (flash) fits
+        out = flash_attention(ctx, q, k, v)
+        assert np.isfinite(out).all()
+        # Softmax rows are convex combinations of V rows, so the output
+        # must stay inside V's range even in this saturated-score regime.
+        assert out.min() >= v.min() - 1e-3
+        assert out.max() <= v.max() + 1e-3
+
+    def test_packed_bitwise_equals_serial(self, rng, ctx):
+        """The packed (B, H, s, d) twin replays the identical per-slice
+        floating-point schedule -> bitwise-equal outputs."""
+        from repro.attention.flash import packed_flash_attention
+
+        b, h, s, dk = 3, 4, 96, 32
+        q, k, v = (rng.standard_normal((b, h, s, dk)) for _ in range(3))
+        mask = causal_mask(s)
+        packed = packed_flash_attention(q, k, v, mask, device=V100S)
+        for i in range(b):
+            serial = flash_attention(ctx.fork(), q[i], k[i], v[i], mask)
+            np.testing.assert_array_equal(packed[i], serial)
+
+    def test_single_kernel_no_score_stores(self, rng, ctx):
+        h, s, dk = 12, 128, 64
+        q, k, v = (rng.standard_normal((h, s, dk)) for _ in range(3))
+        flash_attention(ctx, q, k, v)
+        assert len(ctx.tl) == 1
+        # Z only reaches HBM; the s x s score matrix never does.
+        assert ctx.tl.records[0].cost.bytes_stored == \
+            h * s * dk * ctx.bytes_per_elem
+
+
+class TestFlashTiles:
+    def test_smem_formula(self):
+        from repro.attention import flash_smem_bytes
+
+        br, bc, dk = 64, 32, 16
+        expect = ((br * dk + bc * dk + bc * dk + br * bc) * 2
+                  + br * dk * 4 + 2 * br * 4)
+        assert flash_smem_bytes(br, bc, dk) == expect
+
+    def test_preferred_tiles_for_paper_geometry(self):
+        br, _bc = flash_tile_shape(12, 384, 64, device=V100S)
+        assert br >= 64  # chained-MMA row blocks, not the fallback tier
+
+    def test_fallback_tier_for_wide_heads(self):
+        # Transformer WT2 geometry: d_head 200 -> no Br>=64 tile fits 96KB.
+        br, bc = flash_tile_shape(4, 384, 200, device=V100S)
+        assert br < 64
+
+    def test_no_tile_fits_raises(self):
+        with pytest.raises(RuntimeError, match="no flash tile fits"):
+            flash_tile_shape(4, 128, 4000, device=V100S)
+
+    def test_grid_occupancy_bounds(self):
+        from repro.gpu.kernel import grid_occupancy
+
+        assert grid_occupancy(V100S.num_sms, V100S) == 1.0
+        assert grid_occupancy(10 * V100S.num_sms, V100S) == 1.0
+        assert grid_occupancy(8, V100S) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            grid_occupancy(0, V100S)

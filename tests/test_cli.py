@@ -67,3 +67,26 @@ class TestCommands:
         assert main(["fig7"]) == 0
         out = capsys.readouterr().out
         assert "sparsity" in out and "et" in out
+
+
+class TestAutotuneCommand:
+    def test_winner_table_and_crossovers(self, capsys):
+        assert main(["autotune"]) == 0
+        out = capsys.readouterr().out
+        assert "V100S" in out and "A100" in out
+        assert "flash takes over at" in out
+        assert "0 hits" in out  # cold cache: one miss per probed seqLen
+
+    def test_transformer_never_flash(self, capsys):
+        assert main(["autotune", "--model", "Transformer"]) == 0
+        out = capsys.readouterr().out
+        assert "never" in out and "partial_otf takes over at" in out
+
+    def test_tune_out_round_trips(self, capsys, tmp_path):
+        from repro.runtime.autotune import TuneCache
+
+        path = tmp_path / "tune_cache.json"
+        assert main(["autotune", "--tune-out", str(path)]) == 0
+        assert "cache written" in capsys.readouterr().out
+        restored = TuneCache()
+        assert restored.load(path) > 0

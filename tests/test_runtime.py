@@ -182,12 +182,12 @@ class TestLatencyOrderings:
         res = ETEngine(bert_w).run(bert_x)
         assert res.choices["layer0.attention"] == "otf"  # short sequence
 
-    def test_partial_otf_chosen_for_long_sequences(self):
+    def test_flash_chosen_for_long_sequences(self):
         rng = np.random.default_rng(0)
         w = EncoderWeights.random(BERT_BASE, rng, 1)
         x = rng.standard_normal((384, BERT_BASE.d_model))
         res = ETEngine(w).run(x)
-        assert res.choices["layer0.attention"] == "partial_otf"
+        assert res.choices["layer0.attention"] == "flash"
 
 
 class TestKernelCounts:

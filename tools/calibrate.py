@@ -20,6 +20,11 @@ Targets (from the paper):
   T11 tile-GEMM speedup @95%, d=768    ~3.5x
   T12 full/partial OTF @64             ~1.5x
 
+Flash anchors (this repo's three-way re-study, no published targets):
+  F1  flash max |err| vs reference      ~0 (seqLen x d_k grid)
+  F2  flash crossover seqlen (V100S)    160..224
+  F3  OTF / flash @320                  >1 (flash wins past crossover)
+
 Exit codes identify which anchor class drifted (CI log triage):
 
 - ``0`` — every anchor within tolerance;
@@ -27,7 +32,8 @@ Exit codes identify which anchor class drifted (CI log triage):
 - ``3`` — an engine-latency anchor missed (T1–T6);
 - ``4`` — an attention/crossover anchor missed (T7, T8, T12);
 - ``5`` — a memory-bandwidth anchor missed (T9, T10);
-- ``6`` — the sparse-GEMM anchor missed (T11).
+- ``6`` — the sparse-GEMM anchor missed (T11);
+- ``7`` — a flash-attention anchor missed (F1-F3).
 
 When several classes miss, the lowest-numbered failing class sets the
 exit code; every miss is printed regardless.
@@ -41,8 +47,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attention import (fused_attention, otf_attention,
+from repro.attention import (flash_attention, flash_crossover_seqlen,
+                             fused_attention, otf_attention,
                              otf_crossover_seqlen, partial_otf_attention)
+from repro.attention.reference import reference_attention
+from repro.ops.softmax import causal_mask
 from repro.config import BERT_BASE
 from repro.gpu import Timeline
 from repro.ops import GemmAlgo, gemm, tile_gemm
@@ -59,11 +68,13 @@ EXIT_ENGINE = 3
 EXIT_ATTENTION = 4
 EXIT_BANDWIDTH = 5
 EXIT_SPARSE = 6
+EXIT_FLASH = 7
 
 #: Anchor classes in exit-code priority order.
-CLASSES = ("engine", "attention", "bandwidth", "sparse")
+CLASSES = ("engine", "attention", "bandwidth", "sparse", "flash")
 _CLASS_EXIT = {"engine": EXIT_ENGINE, "attention": EXIT_ATTENTION,
-               "bandwidth": EXIT_BANDWIDTH, "sparse": EXIT_SPARSE}
+               "bandwidth": EXIT_BANDWIDTH, "sparse": EXIT_SPARSE,
+               "flash": EXIT_FLASH}
 
 
 @dataclass(frozen=True)
@@ -131,6 +142,30 @@ def measure(seed: int) -> list[Anchor]:
     crossover = float(otf_crossover_seqlen(fp16_ctx(tl), heads, d_k,
                                            with_mask=True))
 
+    # F1: flash numerics vs the O(s^2)-memory reference on a seqLen x d_k
+    # grid (odd lengths exercise ragged final tiles; causal mask exercises
+    # fully-masked score tiles).
+    flash_err = 0.0
+    for s in (8, 48, 128, 333, 512):
+        for dk in (32, 64, 128):
+            g = np.random.default_rng(seed + s * 1000 + dk)
+            fq, fk, fv = (g.standard_normal((heads, s, dk))
+                          for _ in range(3))
+            fmask = causal_mask(s)
+            z = flash_attention(fp16_ctx(Timeline()), fq, fk, fv, fmask)
+            ref = reference_attention(fq, fk, fv, fmask)
+            ref = ref.transpose(1, 0, 2).reshape(s, heads * dk)
+            flash_err = max(flash_err, float(np.abs(z - ref).max()))
+
+    # F2/F3: flash wins past its measured V100S crossover (~192).
+    flash_cross = float(flash_crossover_seqlen(fp16_ctx(Timeline()), heads,
+                                               d_k, with_mask=True))
+    s320 = 320
+    q3, k3, v3 = (rng.standard_normal((heads, s320, d_k)) for _ in range(3))
+    m3 = np.zeros((s320, s320))
+    flash_gain = (_attn_time(otf_attention, q3, k3, v3, m3)
+                  / _attn_time(flash_attention, q3, k3, v3, m3))
+
     # T11: tile gemm vs dense ALGO5 at 95 % sparsity, (128x768) @ (768x768).
     wt = rng.standard_normal((768, 768))
     fmt = TileBCSR.from_dense(wt * tile_mask(wt, 0.95))
@@ -157,6 +192,12 @@ def measure(seed: int) -> list[Anchor]:
         Anchor("T11", "sparse", "tile95 speedup", t_dense / t_tile,
                3.5, 0.35),
         Anchor("T12", "attention", "full/part @64", fp64_ratio, 1.5, 0.80),
+        Anchor("F1", "flash", "flash max err", flash_err, 0.0,
+               lo=0.0, hi=1e-5),
+        Anchor("F2", "flash", "flash crossover", flash_cross, 192.0,
+               lo=160.0, hi=224.0),
+        Anchor("F3", "flash", "otf/flash @320", flash_gain, 3.0,
+               lo=1.05, hi=10.0),
     ]
 
 
@@ -182,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "code when an anchor drifts out of tolerance.",
         epilog="Exit codes: 0 ok, 2 usage, 3 engine-latency anchor miss "
                "(T1-T6), 4 attention/crossover miss (T7/T8/T12), "
-               "5 bandwidth miss (T9/T10), 6 sparse-GEMM miss (T11).",
+               "5 bandwidth miss (T9/T10), 6 sparse-GEMM miss (T11), "
+               "7 flash-attention miss (F1-F3).",
     )
     parser.add_argument(
         "--only", choices=CLASSES, default=None,
@@ -210,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             "attention": "T7/T8/T12 attention + crossover anchors (exit 4)",
             "bandwidth": "T9/T10 Fig. 12 achieved-bandwidth anchors (exit 5)",
             "sparse": "T11 tile-GEMM speedup anchor (exit 6)",
+            "flash": "F1-F3 flash numerics + crossover anchors (exit 7)",
         }
         for klass in CLASSES:
             print(f"{klass:<10} {listing[klass]}")
